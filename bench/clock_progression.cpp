@@ -1,0 +1,89 @@
+// Reproduces the paper's clock-progression figure (arXiv artifact
+// "clock-progression.png", the price-discovery companion to Figure 1):
+// the per-round price clocks of a contested market, from the
+// congestion-weighted reserves to the uniform clearing prices.
+//
+// Three pools with different contention levels: a congested pool whose
+// clock must climb, a mildly contested one that clears after a few
+// ticks, and a cold pool that never moves off its (discounted) reserve.
+#include <iostream>
+
+#include "auction/clock_auction.h"
+#include "common/ascii_chart.h"
+#include "common/table.h"
+#include "common/rng.h"
+
+int main() {
+  // Pool 0: hot (demand 3x supply). Pool 1: warm (1.5x). Pool 2: cold.
+  const std::vector<double> supply = {10.0, 20.0, 40.0};
+  const std::vector<double> reserve = {1.8, 1.0, 0.45};
+
+  pm::RandomStream rng(20090425);
+  std::vector<pm::bid::Bid> bids;
+  auto add_buyers = [&](pm::PoolId pool, double total_demand, int count,
+                        double limit_scale) {
+    for (int i = 0; i < count; ++i) {
+      pm::bid::Bid b;
+      b.name = "pool" + std::to_string(pool) + "-buyer" +
+               std::to_string(i);
+      const double qty = total_demand / count;
+      b.bundles = {pm::bid::Bundle({pm::bid::BundleItem{pool, qty}})};
+      b.limit = qty * reserve[pool] * limit_scale *
+                rng.Uniform(0.8, 1.2);
+      bids.push_back(std::move(b));
+    }
+  };
+  add_buyers(0, 30.0, 12, 3.0);  // Hot: 3x oversubscribed.
+  add_buyers(1, 30.0, 10, 2.0);  // Warm: 1.5x.
+  add_buyers(2, 20.0, 8, 2.0);   // Cold: 0.5x — clears instantly.
+  pm::bid::AssignUserIds(bids);
+
+  pm::auction::ClockAuction auction(std::move(bids), supply, reserve);
+  pm::auction::ClockAuctionConfig config;
+  config.alpha = 0.3;
+  config.delta = 0.05;
+  config.record_trajectory = true;
+  const pm::auction::ClockAuctionResult result = auction.Run(config);
+
+  std::cout << "=== Clock progression: price clocks per round ===\n\n";
+  pm::TextTable table({"round", "p(hot)", "p(warm)", "p(cold)",
+                       "z(hot)", "z(warm)", "z(cold)"});
+  const std::size_t stride =
+      std::max<std::size_t>(1, result.trajectory.size() / 24);
+  for (std::size_t t = 0; t < result.trajectory.size(); ++t) {
+    if (t % stride != 0 && t + 1 != result.trajectory.size()) continue;
+    const pm::auction::RoundRecord& round = result.trajectory[t];
+    table.AddRow({std::to_string(t + 1), pm::FormatF(round.prices[0], 3),
+                  pm::FormatF(round.prices[1], 3),
+                  pm::FormatF(round.prices[2], 3),
+                  pm::FormatF(round.excess[0], 1),
+                  pm::FormatF(round.excess[1], 1),
+                  pm::FormatF(round.excess[2], 1)});
+  }
+  std::cout << table.Render() << '\n';
+
+  std::vector<pm::ChartSeries> series(3);
+  const char* labels[] = {"hot pool", "warm pool", "cold pool"};
+  const char glyphs[] = {'H', 'W', 'C'};
+  for (int p = 0; p < 3; ++p) {
+    series[p].label = labels[p];
+    series[p].glyph = glyphs[p];
+    for (std::size_t t = 0; t < result.trajectory.size(); ++t) {
+      series[p].xs.push_back(static_cast<double>(t + 1));
+      series[p].ys.push_back(result.trajectory[t].prices[p]);
+    }
+  }
+  pm::ChartOptions options;
+  options.title = "price clock vs round (ascending clock auction)";
+  options.height = 16;
+  std::cout << RenderLineChart(series, options) << '\n';
+
+  std::cout << "converged: " << (result.converged ? "yes" : "no")
+            << " after " << result.rounds << " rounds\n"
+            << "shape check: the hot clock climbs until enough bidders "
+               "drop out, the warm clock stops after a few ticks, the "
+               "cold clock never leaves its discounted reserve ("
+            << pm::FormatF(result.prices[2], 3) << " = reserve "
+            << pm::FormatF(reserve[2], 3) << ")\n";
+  return result.converged ? 0 : 1;
+}

@@ -1,0 +1,210 @@
+// Verifies §III.C.4: "All else being equal, the execution time scales
+// linearly in the number of participants and the number of resources.
+// Solving for the prices in our experimental resource auction (having
+// around 100 bidders and 100 system-level resources) took only a few
+// minutes [in Python] … Optimized code written in a lower-level language
+// could reduce this by at least one order of magnitude."
+//
+// google-benchmark sweeps U (users) at fixed R and R (pools) at fixed U,
+// with per-round work held comparable; the custom counters report demand
+// evaluations. A final OLS fit (run as a -------- summary after the
+// timed sections) confirms R² ≈ 1 for time vs size. The 100×100 case is
+// benchmarked explicitly — it completes in milliseconds, far beyond the
+// paper's predicted 10×.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "auction/clock_auction.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "stats/regression.h"
+
+namespace {
+
+/// Builds a market with `users` bidders over `pools` pools where per-user
+/// work is constant (one or two sparse bundles each). With
+/// `never_clears`, limits are effectively unbounded and supply is scarce,
+/// so the clock runs exactly max_rounds rounds — §III.C.4's "all else
+/// being equal": the round count is pinned and total time isolates the
+/// per-round Θ(users + pools) work.
+pm::auction::ClockAuction MakeMarket(int users, int pools,
+                                     std::uint64_t seed,
+                                     bool never_clears) {
+  pm::RandomStream rng(seed);
+  std::vector<double> supply(static_cast<std::size_t>(pools));
+  std::vector<double> reserve(static_cast<std::size_t>(pools));
+  for (auto& s : supply) s = never_clears ? 0.5 : rng.Uniform(20.0, 60.0);
+  for (auto& r : reserve) r = rng.Uniform(0.5, 3.0);
+  std::vector<pm::bid::Bid> bids;
+  bids.reserve(static_cast<std::size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    pm::bid::Bid b;
+    b.user = static_cast<pm::UserId>(u);
+    b.name = "u" + std::to_string(u);
+    const int bundles = 1 + (u % 2);
+    double cost = 0.0;
+    for (int k = 0; k < bundles; ++k) {
+      const auto pool =
+          static_cast<pm::PoolId>(rng.UniformInt(0, pools - 1));
+      const double qty = rng.Uniform(1.0, 4.0);
+      b.bundles.push_back(
+          pm::bid::Bundle({pm::bid::BundleItem{pool, qty}}));
+      cost = std::max(cost, qty * reserve[pool]);
+    }
+    b.limit = never_clears ? 1e18 : cost * rng.Uniform(1.2, 3.0);
+    bids.push_back(std::move(b));
+  }
+  pm::bid::AssignUserIds(bids);
+  return pm::auction::ClockAuction(std::move(bids), std::move(supply),
+                                   std::move(reserve));
+}
+
+/// Fixed 100-round budget for the scaling sweeps.
+constexpr int kFixedRounds = 100;
+
+pm::auction::ClockAuctionConfig BenchConfig(bool fixed_rounds) {
+  pm::auction::ClockAuctionConfig config;
+  config.alpha = 0.4;
+  config.delta = 0.08;
+  if (fixed_rounds) config.max_rounds = kFixedRounds;
+  return config;
+}
+
+void BM_ClockAuction_Users(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  const pm::auction::ClockAuction market =
+      MakeMarket(users, 100, 7, /*never_clears=*/true);
+  long long evals = 0;
+  int rounds = 0;
+  for (auto _ : state) {
+    const pm::auction::ClockAuctionResult r =
+        market.Run(BenchConfig(/*fixed_rounds=*/true));
+    benchmark::DoNotOptimize(r.prices.data());
+    evals = r.demand_evaluations;
+    rounds = r.rounds;
+  }
+  state.counters["users"] = users;
+  state.counters["rounds"] = rounds;
+  state.counters["demand_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_ClockAuction_Users)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClockAuction_Pools(benchmark::State& state) {
+  const int pools = static_cast<int>(state.range(0));
+  const pm::auction::ClockAuction market =
+      MakeMarket(100, pools, 11, /*never_clears=*/true);
+  for (auto _ : state) {
+    const pm::auction::ClockAuctionResult r =
+        market.Run(BenchConfig(/*fixed_rounds=*/true));
+    benchmark::DoNotOptimize(r.prices.data());
+  }
+  state.counters["pools"] = pools;
+}
+BENCHMARK(BM_ClockAuction_Pools)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+// The paper's own experimental scale: ~100 bidders × ~100 pools, on a
+// realistic converging market (run to convergence, not a fixed budget).
+void BM_ClockAuction_PaperScale(benchmark::State& state) {
+  const pm::auction::ClockAuction market =
+      MakeMarket(100, 100, 13, /*never_clears=*/false);
+  for (auto _ : state) {
+    const pm::auction::ClockAuctionResult r =
+        market.Run(BenchConfig(/*fixed_rounds=*/false));
+    benchmark::DoNotOptimize(r.converged);
+  }
+  state.SetLabel("paper: 'a few minutes' in Python; >=10x predicted");
+}
+BENCHMARK(BM_ClockAuction_PaperScale)->Unit(benchmark::kMillisecond);
+
+// Parallel proxy evaluation (line 4 fan-out across a thread pool).
+void BM_ClockAuction_ParallelProxies(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const pm::auction::ClockAuction market =
+      MakeMarket(800, 100, 17, /*never_clears=*/true);
+  pm::ThreadPool pool(threads);
+  pm::auction::ClockAuctionConfig config =
+      BenchConfig(/*fixed_rounds=*/true);
+  config.thread_pool = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    const pm::auction::ClockAuctionResult r = market.Run(config);
+    benchmark::DoNotOptimize(r.prices.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ClockAuction_ParallelProxies)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Linearity audit printed after the benchmark tables: OLS of runtime vs
+/// users and vs pools.
+void PrintLinearityFit() {
+  // Median-of-5 timings of the fixed-100-round clock, then OLS.
+  auto time_market = [](int users, int pools, std::uint64_t seed) {
+    const pm::auction::ClockAuction market =
+        MakeMarket(users, pools, seed, /*never_clears=*/true);
+    std::vector<double> samples;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const pm::auction::ClockAuctionResult r =
+          market.Run(BenchConfig(/*fixed_rounds=*/true));
+      benchmark::DoNotOptimize(r.prices.data());
+      samples.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+  };
+  std::vector<double> sizes, times_ms;
+  for (const int users : {25, 50, 100, 200, 400, 800, 1600}) {
+    sizes.push_back(users);
+    times_ms.push_back(time_market(users, 100, 7));
+  }
+  const pm::stats::LinearFit fit_users =
+      pm::stats::FitLinear(sizes, times_ms);
+  sizes.clear();
+  times_ms.clear();
+  for (const int pools : {25, 50, 100, 200, 400, 800}) {
+    sizes.push_back(pools);
+    times_ms.push_back(time_market(100, pools, 11));
+  }
+  const pm::stats::LinearFit fit_pools =
+      pm::stats::FitLinear(sizes, times_ms);
+  std::printf(
+      "\nlinearity audit (§III.C.4, fixed %d-round clock): "
+      "time ~ users R^2 = %.4f, time ~ pools R^2 = %.4f "
+      "(both should be ~1)\n",
+      kFixedRounds, fit_users.r_squared, fit_pools.r_squared);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintLinearityFit();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// A tour of the tree-based bidding language (§II's TBBL-style dialect):
+// every construct, what it flattens to, and the diagnostics the compiler
+// produces for malformed bids.
+//
+//   $ ./bidlang_tour
+#include <iostream>
+
+#include "bid/tbbl_flatten.h"
+#include "common/table.h"
+
+namespace {
+
+void Show(const char* title, const char* source) {
+  std::cout << "--- " << title << " ---\n" << source << "\n";
+  pm::PoolRegistry registry;
+  const pm::bid::FlattenOutcome out =
+      pm::bid::CompileBids(source, registry);
+  if (!out.ok()) {
+    std::cout << "  => rejected: " << out.error << "\n\n";
+    return;
+  }
+  for (const pm::bid::Bid& bid : out.bids) {
+    std::cout << "  => " << bid.name << "  (limit "
+              << pm::FormatF(bid.limit, 2) << ", "
+              << pm::bid::ToString(pm::bid::ClassifyBid(bid)) << ", "
+              << bid.bundles.size() << " alternative(s))\n";
+    for (const pm::bid::Bundle& bundle : bid.bundles) {
+      std::cout << "       " << bundle.ToString(registry) << '\n';
+    }
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Tree-based bidding language tour ===\n\n";
+
+  Show("a leaf: one pool, one quantity",
+       R"(bid "simple" limit 100 { cpu@c1: 10 })");
+
+  Show("and{}: a co-located bundle (CPUs are useless without RAM, §II)",
+       R"(bid "colocated" limit 500 {
+  and { cpu@c1: 10  ram@c1: 40  disk@c1: 2 }
+})");
+
+  Show("xor{}: indifference between locations",
+       R"(bid "either-site" limit 500 {
+  xor {
+    and { cpu@eu: 10 ram@eu: 40 }
+    and { cpu@us: 10 ram@us: 40 }
+  }
+})");
+
+  Show("nesting: fixed home base AND a flexible burst slice",
+       R"(bid "hybrid" limit 900 {
+  and {
+    and { cpu@home: 20 ram@home: 80 }
+    xor { cpu@east: 50  cpu@west: 50  cpu@asia: 50 }
+  }
+})");
+
+  Show("offer: selling capacity back (min = least acceptable revenue)",
+       R"(offer "downsizer" min 75 {
+  and { cpu@home: 30 ram@home: 120 }
+})");
+
+  Show("negative leaves inside a bid: a trader swapping clusters",
+       R"(bid "swap" limit 50 {
+  and { cpu@old: -25  cpu@new: 25 }
+})");
+
+  std::cout << "=== diagnostics ===\n\n";
+
+  Show("unknown resource kind",
+       R"(bid "oops" limit 10 { gpu@c1: 4 })");
+
+  Show("zero quantity",
+       R"(bid "zero" limit 10 { cpu@c1: 0 })");
+
+  Show("combinatorial explosion guard",
+       R"(bid "explode" limit 10 { and {
+  xor { cpu@a: 1 cpu@b: 1 } xor { cpu@a: 1 cpu@b: 1 }
+  xor { cpu@a: 1 cpu@b: 1 } xor { cpu@a: 1 cpu@b: 1 }
+  xor { cpu@a: 1 cpu@b: 1 } xor { cpu@a: 1 cpu@b: 1 }
+  xor { cpu@a: 1 cpu@b: 1 } xor { cpu@a: 1 cpu@b: 1 }
+  xor { cpu@a: 1 cpu@b: 1 } xor { cpu@a: 1 cpu@b: 1 }
+  xor { cpu@a: 1 cpu@b: 1 } xor { cpu@a: 1 cpu@b: 1 }
+  xor { cpu@a: 1 cpu@b: 1 }
+} })");
+
+  Show("missing brace", R"(bid "broken" limit 10 { xor { cpu@c1: 5 )");
+  return 0;
+}

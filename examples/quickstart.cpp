@@ -1,0 +1,122 @@
+// Quickstart: one clock auction end to end.
+//
+// Builds a two-cluster market by hand, writes three bids in the
+// TBBL-style bid language, runs the ascending clock auction with
+// congestion-weighted reserve prices, and prints the uniform clearing
+// prices, the winners and what they pay.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "auction/clock_auction.h"
+#include "auction/settlement.h"
+#include "auction/system_check.h"
+#include "bid/tbbl_flatten.h"
+#include "common/table.h"
+#include "reserve/weighting.h"
+
+int main() {
+  // --- 1. Bids, in the bid language (§II's {Q_u, π_u} model) ----------
+  // web-frontend is locked to cluster "east"; batch-pipeline takes
+  // whichever cluster clears cheaper; cold-storage vacates disk in east.
+  const char* source = R"(
+    bid "web-frontend" limit 4500 {
+      and { cpu@east: 120  ram@east: 480 }
+    }
+    bid "batch-pipeline" limit 1800 {
+      xor {
+        and { cpu@east: 100  ram@east: 200 }
+        and { cpu@west: 100  ram@west: 200 }
+      }
+    }
+    bid "ml-training" limit 5200 {
+      and { cpu@west: 550 }
+    }
+    offer "cold-storage" min 40 {
+      disk@east: 300
+    }
+  )";
+  pm::PoolRegistry registry;
+  const pm::bid::FlattenOutcome compiled =
+      pm::bid::CompileBids(source, registry);
+  if (!compiled.ok()) {
+    std::cerr << "bid compilation failed: " << compiled.error << '\n';
+    return 1;
+  }
+  std::cout << "compiled " << compiled.bids.size() << " bids over "
+            << registry.size() << " resource pools\n\n";
+
+  // --- 2. Operator supply and congestion-weighted reserves (§IV) ------
+  // east is congested (85% utilized), west is nearly idle (20%).
+  std::vector<double> supply(registry.size(), 0.0);
+  std::vector<double> utilization(registry.size(), 0.0);
+  std::vector<double> cost(registry.size(), 0.0);
+  for (pm::PoolId r = 0; r < registry.size(); ++r) {
+    const pm::PoolKey& key = registry.KeyOf(r);
+    const bool east = key.cluster == "east";
+    utilization[r] = east ? 0.85 : 0.20;
+    switch (key.kind) {
+      case pm::ResourceKind::kCpu:
+        supply[r] = east ? 150.0 : 600.0;
+        cost[r] = 10.0;
+        break;
+      case pm::ResourceKind::kRam:
+        supply[r] = east ? 500.0 : 2400.0;
+        cost[r] = 1.5;
+        break;
+      case pm::ResourceKind::kDisk:
+        supply[r] = east ? 0.0 : 900.0;  // East disk comes from sellers.
+        cost[r] = 0.8;
+        break;
+    }
+  }
+  const auto phi = pm::reserve::MakeExp2Weighting();
+  std::vector<double> reserve(registry.size());
+  for (pm::PoolId r = 0; r < registry.size(); ++r) {
+    reserve[r] = (*phi)(utilization[r]) * cost[r];  // Eq. (4).
+  }
+
+  // --- 3. Run Algorithm 1 ---------------------------------------------
+  pm::auction::ClockAuction auction(compiled.bids, supply, reserve);
+  pm::auction::ClockAuctionConfig config;
+  config.alpha = 0.4;   // Step scale per 100% oversubscription.
+  config.delta = 0.05;  // Per-round price cap (relative).
+  const pm::auction::ClockAuctionResult result = auction.Run(config);
+  std::cout << "clock auction " << (result.converged ? "converged" : "hit the round cap")
+            << " after " << result.rounds << " rounds\n\n";
+
+  // --- 4. Prices -------------------------------------------------------
+  pm::TextTable prices({"pool", "reserve $/unit", "clearing $/unit"});
+  for (pm::PoolId r = 0; r < registry.size(); ++r) {
+    prices.AddRow({registry.NameOf(r), pm::FormatF(reserve[r], 3),
+                   pm::FormatF(result.prices[r], 3)});
+  }
+  std::cout << prices.Render() << '\n';
+
+  // --- 5. Settlement ----------------------------------------------------
+  const pm::auction::Settlement settlement =
+      pm::auction::Settle(auction, result);
+  pm::TextTable awards({"team", "awarded bundle", "pays/receives"});
+  for (const pm::auction::Award& award : settlement.awards) {
+    const pm::bid::Bid& b = compiled.bids[award.user];
+    awards.AddRow(
+        {b.name,
+         b.bundles[static_cast<std::size_t>(award.bundle_index)]
+             .ToString(registry),
+         (award.payment >= 0 ? "pays $" : "receives $") +
+             pm::FormatF(std::abs(award.payment), 2)});
+  }
+  for (pm::UserId loser : settlement.losers) {
+    awards.AddRow({compiled.bids[loser].name, "(nothing)", "-"});
+  }
+  std::cout << awards.Render() << '\n';
+
+  // --- 6. Audit against the SYSTEM constraints (§III.B) ---------------
+  const pm::auction::SystemCheckResult audit =
+      pm::auction::CheckSystemConstraints(auction, result);
+  std::cout << "SYSTEM feasibility audit: "
+            << (audit.Feasible() ? "all constraints hold"
+                                 : audit.ToString())
+            << '\n';
+  return audit.Feasible() ? 0 : 1;
+}

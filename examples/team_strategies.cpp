@@ -1,0 +1,104 @@
+// Bidder-behaviour study (§V.B–C): what each strategy does to a market.
+//
+// Runs the same 12-cluster world four times with different team
+// populations — all truthful; with premium-sticky teams; with
+// opportunist movers; the full §V mix — and compares hot-cluster price
+// premiums, migrations, and premium statistics after four auctions.
+//
+//   $ ./team_strategies
+#include <cmath>
+#include <iostream>
+
+#include "agents/workload_gen.h"
+#include "common/table.h"
+#include "exchange/market.h"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  double frac_premium;
+  double frac_mover;
+  double frac_lowball;
+  double frac_arb;
+};
+
+struct Outcome {
+  double hot_ratio = 0.0;
+  double migrations = 0.0;
+  double median_gamma_first = 0.0;
+  double median_gamma_last = 0.0;
+  double spread_after = 0.0;
+};
+
+Outcome RunScenario(const Scenario& scenario) {
+  pm::agents::WorkloadConfig workload;
+  workload.num_clusters = 12;
+  workload.num_teams = 48;
+  workload.seed = 777;
+  workload.frac_premium_sticky = scenario.frac_premium;
+  workload.frac_opportunist_mover = scenario.frac_mover;
+  workload.frac_lowball_seller = scenario.frac_lowball;
+  workload.frac_arbitrageur = scenario.frac_arb;
+  pm::agents::World world = GenerateWorld(workload);
+
+  pm::exchange::MarketConfig config;
+  config.auction.alpha = 0.4;
+  config.auction.delta = 0.08;
+  pm::exchange::Market market(&world.fleet, &world.agents,
+                              world.fixed_prices, config);
+
+  Outcome outcome;
+  for (int a = 0; a < 4; ++a) {
+    const pm::exchange::AuctionReport report = market.RunAuction();
+    outcome.migrations += static_cast<double>(report.moves.size());
+    if (a == 0) outcome.median_gamma_first = report.premium.median;
+    outcome.median_gamma_last = report.premium.median;
+    if (a == 0) {
+      // Mean market/fixed ratio over the hot half of the pools.
+      const std::vector<double> ratios =
+          pm::exchange::PriceRatios(report);
+      double sum = 0.0;
+      int n = 0;
+      for (std::size_t r = 0; r < ratios.size(); ++r) {
+        if (report.pre_utilization[r] > 0.6 && !std::isnan(ratios[r])) {
+          sum += ratios[r];
+          ++n;
+        }
+      }
+      outcome.hot_ratio = n > 0 ? sum / n : 0.0;
+    }
+  }
+  outcome.spread_after = pm::exchange::UtilizationSpread(
+      world.fleet.UtilizationVector());
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const Scenario scenarios[] = {
+      {"all truthful growers", 0.0, 0.0, 0.0, 0.0},
+      {"+ premium-sticky teams", 0.35, 0.0, 0.0, 0.0},
+      {"+ opportunist movers", 0.0, 0.45, 0.0, 0.0},
+      {"paper mix (§V)", 0.15, 0.25, 0.10, 0.05},
+  };
+  std::cout << "=== Strategy populations and market outcomes ===\n\n";
+  pm::TextTable table({"population", "hot-pool ratio (auction 1)",
+                       "migrations (4 auctions)", "median gamma 1st",
+                       "median gamma 4th", "util spread after (pp)"});
+  for (const Scenario& s : scenarios) {
+    const Outcome o = RunScenario(s);
+    table.AddRow({s.name, pm::FormatF(o.hot_ratio, 3),
+                  pm::FormatF(o.migrations, 0),
+                  pm::FormatF(o.median_gamma_first, 4),
+                  pm::FormatF(o.median_gamma_last, 4),
+                  pm::FormatF(o.spread_after, 2)});
+  }
+  std::cout << table.Render() << '\n'
+            << "reading: premium-sticky teams inflate congested-pool "
+               "prices; movers turn price signals into migrations and "
+               "flatten utilization; the paper mix does both while "
+               "premiums decay as bidders learn\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// planetmarket: bidder price learning.
+//
+// §V.C observes that "as users become more familiar with the market prices
+// we have seen the reserve prices associated with bids move from closely
+// tracking the former fixed price values to values much closer to the
+// dynamic market prices", driving the median bid premium γ down across
+// auctions (Table I). PriceLearner models that adaptation: an exponential
+// smoothing belief about per-pool prices plus a decaying safety markup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pm::agents {
+
+/// Per-pool price beliefs with a shrinking bidding markup.
+class PriceLearner {
+ public:
+  /// `initial_beliefs` is the dense vector the bidder starts from (the
+  /// former fixed prices in our experiments). `smoothing` λ ∈ (0, 1] is
+  /// the weight of a new observation; `initial_markup` is the safety
+  /// margin added on top of believed cost when bidding (e.g. 0.6 = 60 %
+  /// above belief); `markup_decay` multiplies the markup after every
+  /// observed auction.
+  PriceLearner(std::vector<double> initial_beliefs, double smoothing,
+               double initial_markup, double markup_decay);
+
+  /// Current believed price for a pool.
+  double Belief(std::size_t pool) const;
+
+  /// Believed cost of a quantity vector: Σ qty·belief over items.
+  double BelievedCost(std::span<const std::size_t> pools,
+                      std::span<const double> qtys) const;
+
+  /// Current safety markup (≥ 0).
+  double Markup() const { return markup_; }
+
+  /// Folds one auction's settled prices into the beliefs and decays the
+  /// markup — call exactly once per observed auction.
+  void Observe(std::span<const double> settled_prices);
+
+  /// Number of auctions observed so far.
+  int ObservationCount() const { return observations_; }
+
+ private:
+  std::vector<double> beliefs_;
+  double smoothing_;
+  double markup_;
+  double markup_decay_;
+  int observations_ = 0;
+};
+
+}  // namespace pm::agents

@@ -1,0 +1,67 @@
+// planetmarket: bidding strategies.
+//
+// Each strategy reproduces a bidder population the paper observed (§V.B–C):
+//
+//  * TruthfulGrowth — grows wherever believed-cheapest; limits close to
+//    believed cost × value multiplier. The well-behaved baseline bidder.
+//  * PremiumSticky — "teams that were willing to pay a significant price
+//    premium to continue growing in congested clusters": bids only on the
+//    home cluster with a large markup. Produces Figure 7's high-percentile
+//    bid outliers.
+//  * OpportunistMover — "a number of large teams offer resources on the
+//    market to take advantage of the higher prices and move to less
+//    congested clusters": one offer selling part of the congested home
+//    footprint, one bid rebuying in the believed-cheapest cold cluster,
+//    gated on the price differential exceeding the relocation cost.
+//  * LowballSeller — "some sellers will enter very low prices confident
+//    that there will be ample competition and that the final market price
+//    will be fair": asks a token minimum. Keeps Table I's mean γ noisy.
+//  * Arbitrageur — §V.C's "increasing sophistication towards arbitrage
+//    opportunities": buys pools priced below belief, resells warehoused
+//    holdings priced above.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "agents/team.h"
+
+namespace pm::agents {
+
+/// Context handed to strategies: the agent's own state plus the market.
+struct StrategyContext {
+  const TeamProfile* profile = nullptr;
+  const MarketView* view = nullptr;
+  PriceLearner* learner = nullptr;
+  RandomStream* rng = nullptr;
+  std::vector<double>* holdings = nullptr;  // Arbitrage inventory.
+};
+
+/// Turns market state into this auction's bids.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::vector<bid::Bid> MakeBids(const StrategyContext& ctx) = 0;
+
+  virtual std::string_view Name() const = 0;
+};
+
+/// Factory for the canned strategies.
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind);
+
+/// Helper shared by strategies and tests: the bundle a team of shape
+/// `delta` needs in `cluster` (one item per resource kind with nonzero
+/// demand), built against `registry`.
+bid::Bundle BundleForCluster(const PoolRegistry& registry,
+                             const std::string& cluster,
+                             const cluster::TaskShape& delta);
+
+/// Helper: believed cost of placing `delta` in `cluster`.
+double BelievedClusterCost(const PoolRegistry& registry,
+                           const PriceLearner& learner,
+                           const std::string& cluster,
+                           const cluster::TaskShape& delta);
+
+}  // namespace pm::agents

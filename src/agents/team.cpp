@@ -1,0 +1,65 @@
+#include "agents/team.h"
+
+#include "agents/strategy.h"
+#include "common/check.h"
+
+namespace pm::agents {
+
+std::string_view ToString(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kTruthfulGrowth:
+      return "truthful-growth";
+    case StrategyKind::kPremiumSticky:
+      return "premium-sticky";
+    case StrategyKind::kOpportunistMover:
+      return "opportunist-mover";
+    case StrategyKind::kLowballSeller:
+      return "lowball-seller";
+    case StrategyKind::kArbitrageur:
+      return "arbitrageur";
+  }
+  return "unknown";
+}
+
+TeamAgent::TeamAgent(TeamProfile profile,
+                     std::vector<double> initial_price_beliefs,
+                     std::uint64_t seed)
+    : profile_(std::move(profile)),
+      // λ = 0.55: beliefs move more than halfway to each observed price —
+      // the brisk adaptation §V.C reports. Markup starts at 60 % over
+      // belief and decays fast, shrinking the median premium across
+      // auctions (Table I).
+      learner_(std::move(initial_price_beliefs), 0.55, 0.60, 0.35),
+      rng_(seed),
+      strategy_(MakeStrategy(profile_.strategy)),
+      holdings_() {
+  PM_CHECK_MSG(!profile_.name.empty(), "team needs a name");
+  PM_CHECK_MSG(!profile_.home_cluster.empty(),
+               "team '" << profile_.name << "' needs a home cluster");
+}
+
+TeamAgent::~TeamAgent() = default;
+TeamAgent::TeamAgent(TeamAgent&&) noexcept = default;
+TeamAgent& TeamAgent::operator=(TeamAgent&&) noexcept = default;
+
+std::vector<bid::Bid> TeamAgent::MakeBids(const MarketView& view) {
+  PM_CHECK(view.registry != nullptr);
+  StrategyContext ctx;
+  ctx.profile = &profile_;
+  ctx.view = &view;
+  ctx.learner = &learner_;
+  ctx.rng = &rng_;
+  ctx.holdings = &holdings_;
+  return strategy_->MakeBids(ctx);
+}
+
+void TeamAgent::ObserveOutcome(std::span<const double> settled_prices,
+                               const std::vector<BidOutcome>& outcomes) {
+  learner_.Observe(settled_prices);
+  // Strategy-independent bookkeeping could use `outcomes` (e.g. morale);
+  // the physical footprint/holdings updates are performed by the exchange
+  // layer, which knows the awarded bundles.
+  (void)outcomes;
+}
+
+}  // namespace pm::agents

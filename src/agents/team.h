@@ -1,0 +1,117 @@
+// planetmarket: engineering-team agents.
+//
+// Teams are the paper's "users": they hold jobs in clusters, receive a
+// budget, and bid in periodic auctions through a strategy. A TeamAgent
+// owns its profile, a PriceLearner (§V.C adaptation), and a Strategy that
+// turns market state into bids. The exchange layer invokes MakeBids before
+// each auction and ObserveOutcome after settlement.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "agents/learning.h"
+#include "bid/bid.h"
+#include "cluster/fleet.h"
+#include "common/rng.h"
+
+namespace pm::agents {
+
+/// Which canned strategy a team runs (see strategy.h).
+enum class StrategyKind {
+  kTruthfulGrowth,   // Grow where cheapest; moderate honest limits.
+  kPremiumSticky,    // Grow in the home cluster, pay large premiums.
+  kOpportunistMover, // Sell congested home footprint, rebuy where cheap.
+  kLowballSeller,    // Offer surplus at a token ask, trust competition.
+  kArbitrageur,      // Buy under-believed pools, resell over-believed.
+};
+
+std::string_view ToString(StrategyKind kind);
+
+/// Static description of a team.
+struct TeamProfile {
+  std::string name;
+  std::string home_cluster;
+
+  /// Aggregate resources the team currently runs (kept in sync with its
+  /// fleet jobs by the exchange layer).
+  cluster::TaskShape footprint;
+
+  /// Fractional growth in footprint the team wants per auction (0.1 = 10%).
+  double growth_rate = 0.10;
+
+  /// Engineering cost (dollars) of reconfiguring the service for a
+  /// different cluster (§V.B: "there is an engineering cost to
+  /// reconfiguring applications for different resource pools").
+  double relocation_cost = 0.0;
+
+  /// Private value multiple over believed cost: how much the team's
+  /// mission is worth per dollar of resources (≥ 1 for viable teams).
+  double value_multiplier = 1.5;
+
+  StrategyKind strategy = StrategyKind::kTruthfulGrowth;
+};
+
+/// Everything a strategy may look at when bidding.
+struct MarketView {
+  const PoolRegistry* registry = nullptr;
+  std::span<const double> reserve_prices;     // This auction's p̃.
+  std::span<const double> utilization;        // ψ per pool, in [0, 1].
+  std::span<const double> free_capacity;      // Operator-sellable units.
+  double budget = 0.0;                        // Team's spendable dollars.
+  int auction_index = 0;                      // 0-based auction number.
+};
+
+/// Result of one of the team's bids, reported back after settlement.
+struct BidOutcome {
+  bool won = false;
+  int bundle_index = -1;
+  double payment = 0.0;  // Positive pays, negative receives.
+};
+
+class Strategy;  // strategy.h
+
+/// A bidding team. Movable via unique_ptr members; not copyable.
+class TeamAgent {
+ public:
+  /// `initial_price_beliefs` seeds the learner (the pre-market fixed
+  /// prices in our experiments); `seed` derives the agent's private
+  /// randomness.
+  TeamAgent(TeamProfile profile, std::vector<double> initial_price_beliefs,
+            std::uint64_t seed);
+
+  // Out of line: Strategy is incomplete here.
+  ~TeamAgent();
+  TeamAgent(TeamAgent&&) noexcept;
+  TeamAgent& operator=(TeamAgent&&) noexcept;
+
+  /// Produces this auction's bids. User ids are left unassigned (the
+  /// exchange assigns them); names are "<team>/<tag>".
+  std::vector<bid::Bid> MakeBids(const MarketView& view);
+
+  /// Digests an auction: settled prices always; `outcomes` aligned with
+  /// the bids returned by the last MakeBids call.
+  void ObserveOutcome(std::span<const double> settled_prices,
+                      const std::vector<BidOutcome>& outcomes);
+
+  const TeamProfile& profile() const { return profile_; }
+  TeamProfile& mutable_profile() { return profile_; }
+
+  const PriceLearner& learner() const { return learner_; }
+  RandomStream& rng() { return rng_; }
+
+  /// Quota units the arbitrageur is currently warehousing, per pool.
+  const std::vector<double>& holdings() const { return holdings_; }
+  std::vector<double>& mutable_holdings() { return holdings_; }
+
+ private:
+  TeamProfile profile_;
+  PriceLearner learner_;
+  RandomStream rng_;
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<double> holdings_;
+};
+
+}  // namespace pm::agents

@@ -1,0 +1,229 @@
+#include "auction/clock_auction.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace pm::auction {
+namespace {
+
+/// Builds the configured increment policy.
+std::unique_ptr<IncrementPolicy> BuildPolicy(
+    const ClockAuctionConfig& config, std::size_t num_pools) {
+  using Kind = ClockAuctionConfig::PolicyKind;
+  switch (config.policy_kind) {
+    case Kind::kAdditive:
+      return MakeAdditivePolicy(config.alpha);
+    case Kind::kCapped:
+      return MakeCappedPolicy(config.alpha, config.delta);
+    case Kind::kRelativeCapped:
+      return MakeRelativeCappedPolicy(config.alpha, config.delta,
+                                      config.step_floor);
+    case Kind::kCostNormalized: {
+      PM_CHECK_MSG(config.base_costs.size() == num_pools,
+                   "base_costs must have one entry per pool");
+      return MakeCostNormalizedPolicy(config.alpha, config.delta,
+                                      config.base_costs);
+    }
+    case Kind::kMultiplicative:
+      return MakeMultiplicativePolicy(config.alpha, config.delta,
+                                      config.step_floor);
+  }
+  PM_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+bool AllNonPositive(std::span<const double> z, double eps) {
+  return std::all_of(z.begin(), z.end(),
+                     [eps](double v) { return v <= eps; });
+}
+
+}  // namespace
+
+ClockAuction::ClockAuction(std::vector<bid::Bid> bids,
+                           std::vector<double> supply,
+                           std::vector<double> reserve_prices)
+    : bids_(std::move(bids)),
+      supply_(std::move(supply)),
+      reserve_(std::move(reserve_prices)) {
+  PM_CHECK_MSG(supply_.size() == reserve_.size(),
+               "supply and reserve vectors must have equal size, got "
+                   << supply_.size() << " vs " << reserve_.size());
+  for (std::size_t r = 0; r < supply_.size(); ++r) {
+    PM_CHECK_MSG(supply_[r] >= 0.0, "negative supply in pool " << r);
+    PM_CHECK_MSG(reserve_[r] >= 0.0,
+                 "negative reserve price in pool " << r);
+  }
+  const std::string problem = bid::ValidateBids(bids_, supply_.size());
+  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
+  proxies_.reserve(bids_.size());
+  for (const bid::Bid& b : bids_) proxies_.emplace_back(&b);
+}
+
+void ClockAuction::CollectDemand(std::span<const double> prices,
+                                 ThreadPool* pool,
+                                 std::vector<ProxyDecision>& decisions,
+                                 std::vector<double>& excess) const {
+  decisions.resize(proxies_.size());
+  ParallelFor(pool, 0, proxies_.size(), [&](std::size_t u) {
+    decisions[u] = proxies_[u].Evaluate(prices);
+  });
+  excess.assign(supply_.size(), 0.0);
+  for (std::size_t u = 0; u < proxies_.size(); ++u) {
+    if (!decisions[u].Active()) continue;
+    const bid::Bundle& chosen =
+        bids_[u].bundles[static_cast<std::size_t>(decisions[u].bundle_index)];
+    bid::AccumulateInto(chosen, excess);
+  }
+  for (std::size_t r = 0; r < supply_.size(); ++r) {
+    excess[r] -= supply_[r];
+  }
+}
+
+ClockAuctionResult ClockAuction::Run(
+    const ClockAuctionConfig& config) const {
+  const std::size_t num_pools = supply_.size();
+  std::unique_ptr<IncrementPolicy> owned_policy;
+  const IncrementPolicy* policy = config.policy;
+  if (policy == nullptr) {
+    owned_policy = BuildPolicy(config, num_pools);
+    policy = owned_policy.get();
+  }
+
+  const bool has_caps = !config.price_caps.empty();
+  if (has_caps) {
+    PM_CHECK_MSG(config.price_caps.size() == num_pools,
+                 "price_caps must have one entry per pool");
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      PM_CHECK_MSG(config.price_caps[r] >= reserve_[r],
+                   "price cap for pool " << r
+                                         << " is below its reserve price");
+    }
+  }
+
+  ClockAuctionResult result;
+  result.prices = reserve_;
+  std::vector<double> normalized(num_pools, 0.0);
+  std::vector<double> step(num_pools, 0.0);
+
+  auto normalize = [&](std::span<const double> raw) {
+    if (!config.normalize_excess) {
+      std::copy(raw.begin(), raw.end(), normalized.begin());
+      return;
+    }
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      normalized[r] = raw[r] / std::max(supply_[r], 1.0);
+    }
+  };
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    CollectDemand(result.prices, config.thread_pool, result.decisions,
+                  result.excess);
+    result.demand_evaluations +=
+        static_cast<long long>(proxies_.size());
+    result.rounds = round + 1;
+    normalize(result.excess);
+    if (config.record_trajectory) {
+      result.trajectory.push_back(RoundRecord{result.prices, result.excess});
+    }
+    if (AllNonPositive(normalized, config.demand_eps)) {
+      result.converged = true;
+      return result;
+    }
+    policy->ComputeStep(normalized, result.prices, step);
+    // A positive-excess pool must receive a strictly positive step or the
+    // auction can stall forever at constant prices.
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      if (normalized[r] > config.demand_eps && step[r] <= 0.0) {
+        step[r] = config.step_floor;
+      }
+    }
+    if (has_caps) {
+      // Clamp steps to the ceilings; if every pool with excess demand is
+      // already pinned, no further price motion can clear the market.
+      bool any_movable = false;
+      for (std::size_t r = 0; r < num_pools; ++r) {
+        const double headroom =
+            config.price_caps[r] - result.prices[r];
+        step[r] = std::min(step[r], std::max(headroom, 0.0));
+        if (normalized[r] > config.demand_eps) {
+          if (step[r] > 0.0) {
+            any_movable = true;
+          }
+        }
+      }
+      if (!any_movable) {
+        for (std::size_t r = 0; r < num_pools; ++r) {
+          if (normalized[r] > config.demand_eps) {
+            result.capped_pools.push_back(static_cast<PoolId>(r));
+          }
+        }
+        result.converged = false;
+        return result;
+      }
+    }
+
+    if (!config.intra_round_bisection) {
+      for (std::size_t r = 0; r < num_pools; ++r) {
+        result.prices[r] += step[r];
+      }
+      continue;
+    }
+
+    // Peek at the post-step demand; if the full step would terminate the
+    // auction, bisect the step fraction to reduce overshoot: find a
+    // near-minimal λ ∈ (0, 1] with z(p + λ·g) ≤ 0.
+    std::vector<double> probe_prices(num_pools);
+    std::vector<ProxyDecision> probe_decisions;
+    std::vector<double> probe_excess;
+    auto demand_at = [&](double lambda) {
+      for (std::size_t r = 0; r < num_pools; ++r) {
+        probe_prices[r] = result.prices[r] + lambda * step[r];
+      }
+      CollectDemand(probe_prices, config.thread_pool, probe_decisions,
+                    probe_excess);
+      result.demand_evaluations +=
+          static_cast<long long>(proxies_.size());
+      normalize(probe_excess);
+      return AllNonPositive(normalized, config.demand_eps);
+    };
+    if (!demand_at(1.0)) {
+      // Full step still leaves excess demand: take it and continue.
+      for (std::size_t r = 0; r < num_pools; ++r) {
+        result.prices[r] += step[r];
+      }
+      continue;
+    }
+    double lo = 0.0;  // Known: z(lo) has positive excess somewhere.
+    double hi = 1.0;  // Known: z(hi) ≤ 0.
+    for (int it = 0; it < config.bisection_iters; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (demand_at(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    // Land on `hi`, the smallest probed step that clears.
+    const bool cleared = demand_at(hi);
+    PM_CHECK(cleared);
+    result.prices = probe_prices;
+    result.decisions = probe_decisions;
+    result.excess = probe_excess;
+    result.rounds += 1;
+    if (config.record_trajectory) {
+      result.trajectory.push_back(
+          RoundRecord{result.prices, result.excess});
+    }
+    result.converged = true;
+    return result;
+  }
+  // Round budget exhausted with excess demand remaining (possible with
+  // traders, §III.C.3).
+  result.converged = false;
+  return result;
+}
+
+}  // namespace pm::auction

@@ -1,0 +1,161 @@
+// planetmarket: the ascending clock auction (Algorithm 1, §III.C).
+//
+//   1: Given: U users, R resources, starting prices p̃, increment g
+//   2: t = 0, p(0) = p̃
+//   3: loop
+//   4:   collect bids x_u(t) = G_u(p(t)) ∀u
+//   5:   excess demand z(t) = Σ_u x_u(t) − s        (s = operator supply)
+//   6:   if z(t) ≤ 0 break
+//   7:   else p(t+1) = p(t) + g(x(t), p(t)); t ← t+1
+//
+// The operator's sellable capacity enters as the dense supply vector `s`;
+// teams selling resources enter as bids with negative quantities (both
+// appear in the paper — "the company itself may be mapped into clock
+// auction participants"). Convergence is guaranteed when every participant
+// is a pure buyer or pure seller (§III.C.3); with traders the round cap
+// backstops the contrived cycling cases.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "auction/increment_policy.h"
+#include "auction/proxy.h"
+#include "bid/bid.h"
+#include "common/thread_pool.h"
+
+namespace pm::auction {
+
+/// Tuning knobs for one clock-auction run. Defaults converge briskly on
+/// markets with supply-normalized excess demand.
+struct ClockAuctionConfig {
+  /// Step scale α (interpretation depends on normalize_excess).
+  double alpha = 0.25;
+
+  /// Per-round cap δ for the capped policies.
+  double delta = 0.05;
+
+  /// Which g(x, p) family to use; built lazily from alpha/delta unless
+  /// `policy` is set explicitly.
+  enum class PolicyKind {
+    kAdditive,
+    kCapped,
+    kRelativeCapped,
+    kCostNormalized,
+    kMultiplicative,
+  };
+  PolicyKind policy_kind = PolicyKind::kRelativeCapped;
+
+  /// Explicit policy instance; overrides policy_kind when non-null.
+  const IncrementPolicy* policy = nullptr;
+
+  /// Base costs for PolicyKind::kCostNormalized (one per pool).
+  std::vector<double> base_costs;
+
+  /// Floor for relative/multiplicative steps on zero-priced pools, in
+  /// price units.
+  double step_floor = 1e-3;
+
+  /// Divide excess demand by max(supply, 1) before applying the policy, so
+  /// α reads as "relative price step per 100 % oversubscription" and is
+  /// scale-free across markets. Set false for the literal Eq. (3).
+  bool normalize_excess = true;
+
+  /// Safety cap on rounds; hitting it reports converged = false (traders
+  /// can cycle forever, §III.C.3).
+  int max_rounds = 20000;
+
+  /// Tolerance for the z ≤ 0 stopping test, in (normalized) units.
+  double demand_eps = 1e-9;
+
+  /// When the final step overshoots (z flips from positive to ≤ 0),
+  /// bisect the last step to land closer to the market-clearing price —
+  /// our implementation of the clock-proxy family's undersell control.
+  bool intra_round_bisection = false;
+
+  /// Bisection iterations (each costs one demand collection).
+  int bisection_iters = 24;
+
+  /// Optional pool for parallel proxy evaluation (line 4 fan-out).
+  ThreadPool* thread_pool = nullptr;
+
+  /// Record the full (prices, excess) trajectory per round.
+  bool record_trajectory = false;
+
+  /// §III.B's p ≤ pmax modification: per-pool price ceilings "to keep the
+  /// system away from weird or unfair values". Empty = unbounded (the
+  /// paper's default). When a pool pins at its cap with excess demand
+  /// remaining, no uniform price can clear it: the auction stops, reports
+  /// converged = false and lists the pool in capped_pools — the residual
+  /// demand must be rationed out of band.
+  std::vector<double> price_caps;
+};
+
+/// Snapshot of one auction round (recorded when requested).
+struct RoundRecord {
+  std::vector<double> prices;
+  std::vector<double> excess;  // Raw (un-normalized) excess demand.
+};
+
+/// Outcome of a clock-auction run.
+struct ClockAuctionResult {
+  /// Final uniform linear prices per pool.
+  std::vector<double> prices;
+
+  /// Final proxy decision per user (index-aligned with the bid vector).
+  std::vector<ProxyDecision> decisions;
+
+  /// Final raw excess demand z (all ≤ demand tolerance when converged).
+  std::vector<double> excess;
+
+  /// Rounds executed (price updates + 1 final evaluation).
+  int rounds = 0;
+
+  /// False when max_rounds was exhausted with positive excess demand, or
+  /// when price caps pinned a pool that still had excess demand.
+  bool converged = false;
+
+  /// Pools pinned at their price cap with residual excess demand (only
+  /// populated when ClockAuctionConfig::price_caps is set).
+  std::vector<PoolId> capped_pools;
+
+  /// Total demand evaluations of G_u (U per round plus bisection probes);
+  /// the unit of the paper's linear-scaling claim.
+  long long demand_evaluations = 0;
+
+  /// Per-round history when record_trajectory was set.
+  std::vector<RoundRecord> trajectory;
+};
+
+/// The auctioneer. Owns copies of the bids; proxies reference them.
+class ClockAuction {
+ public:
+  /// `supply` and `reserve_prices` are dense per-pool vectors of equal
+  /// size R; every bid must reference pools < R and pass ValidateBids.
+  ClockAuction(std::vector<bid::Bid> bids, std::vector<double> supply,
+               std::vector<double> reserve_prices);
+
+  /// Runs Algorithm 1. Idempotent: each call restarts from the reserve
+  /// prices.
+  ClockAuctionResult Run(const ClockAuctionConfig& config) const;
+
+  std::size_t NumUsers() const { return bids_.size(); }
+  std::size_t NumPools() const { return supply_.size(); }
+  const std::vector<bid::Bid>& bids() const { return bids_; }
+  const std::vector<double>& supply() const { return supply_; }
+  const std::vector<double>& reserve_prices() const { return reserve_; }
+
+ private:
+  /// Evaluates all proxies at `prices` into `decisions` and accumulates
+  /// raw excess demand z = Σ x_u − s into `excess`.
+  void CollectDemand(std::span<const double> prices, ThreadPool* pool,
+                     std::vector<ProxyDecision>& decisions,
+                     std::vector<double>& excess) const;
+
+  std::vector<bid::Bid> bids_;
+  std::vector<BidderProxy> proxies_;
+  std::vector<double> supply_;
+  std::vector<double> reserve_;
+};
+
+}  // namespace pm::auction

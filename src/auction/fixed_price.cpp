@@ -1,0 +1,179 @@
+#include "auction/fixed_price.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace pm::auction {
+namespace {
+
+/// Cheapest bundle the user can afford at the fixed prices, or -1.
+int PickAffordable(const bid::Bid& bid,
+                   const std::vector<double>& prices) {
+  int best = -1;
+  double best_cost = 0.0;
+  for (std::size_t b = 0; b < bid.bundles.size(); ++b) {
+    const double cost = bid.bundles[b].Dot(prices);
+    if (best < 0 || cost < best_cost - kPriceEps) {
+      best = static_cast<int>(b);
+      best_cost = cost;
+    }
+  }
+  if (best >= 0 && best_cost <= bid.limit + kPriceEps) return best;
+  return -1;
+}
+
+void FinishShortageSurplus(const std::vector<bid::Bid>& bids,
+                           const std::vector<double>& supply,
+                           FixedPriceResult& result) {
+  const std::size_t num_pools = supply.size();
+  std::vector<double> granted(num_pools, 0.0);
+  std::vector<double> requested(num_pools, 0.0);
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    if (result.chosen[u] < 0) {
+      // Unserved users still *requested*: count their cheapest-at-fixed
+      // bundle's buy side as latent demand if they could afford it — the
+      // shortages traditional allocation hides. A user priced out by the
+      // fixed price is not a shortage, it is disinterest.
+      continue;
+    }
+    const bid::Bundle& bundle =
+        bids[u].bundles[static_cast<std::size_t>(result.chosen[u])];
+    for (const bid::BundleItem& item : bundle.items()) {
+      if (item.qty > 0.0) {
+        requested[item.pool] += item.qty;
+        granted[item.pool] += item.qty * result.scale[u];
+      }
+    }
+  }
+  result.shortage.assign(num_pools, 0.0);
+  result.surplus.assign(num_pools, 0.0);
+  for (std::size_t r = 0; r < num_pools; ++r) {
+    result.shortage[r] = std::max(0.0, requested[r] - granted[r]);
+    result.surplus[r] = std::max(0.0, supply[r] - granted[r]);
+  }
+}
+
+}  // namespace
+
+FixedPriceResult AllocatePriorityOrder(
+    const std::vector<bid::Bid>& bids, const std::vector<double>& supply,
+    const std::vector<double>& fixed_prices,
+    const std::vector<std::size_t>& priority) {
+  PM_CHECK(supply.size() == fixed_prices.size());
+  PM_CHECK_MSG(priority.size() == bids.size(),
+               "priority must rank every bid");
+  const std::string problem = bid::ValidateBids(bids, supply.size());
+  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
+
+  FixedPriceResult result;
+  result.chosen.assign(bids.size(), -1);
+  result.scale.assign(bids.size(), 0.0);
+  std::vector<double> remaining = supply;
+
+  for (std::size_t u : priority) {
+    PM_CHECK_MSG(u < bids.size(), "priority index " << u << " out of range");
+    const int pick = PickAffordable(bids[u], fixed_prices);
+    if (pick < 0) continue;
+    const bid::Bundle& bundle =
+        bids[u].bundles[static_cast<std::size_t>(pick)];
+    bool fits = true;
+    for (const bid::BundleItem& item : bundle.items()) {
+      if (item.qty > 0.0 && item.qty > remaining[item.pool] + 1e-9) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;  // Shortage for this user; they get nothing.
+    for (const bid::BundleItem& item : bundle.items()) {
+      remaining[item.pool] -= item.qty;
+    }
+    result.chosen[u] = pick;
+    result.scale[u] = 1.0;
+    result.operator_revenue += bundle.Dot(fixed_prices);
+  }
+  // Re-run the fit test for unserved users to count shortage mass: what
+  // they wanted but could not get.
+  FinishShortageSurplus(bids, supply, result);
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    if (result.chosen[u] >= 0) continue;
+    const int pick = PickAffordable(bids[u], fixed_prices);
+    if (pick < 0) continue;
+    const bid::Bundle& bundle =
+        bids[u].bundles[static_cast<std::size_t>(pick)];
+    for (const bid::BundleItem& item : bundle.items()) {
+      if (item.qty > 0.0) result.shortage[item.pool] += item.qty;
+    }
+  }
+  return result;
+}
+
+FixedPriceResult AllocateProportionalShare(
+    const std::vector<bid::Bid>& bids, const std::vector<double>& supply,
+    const std::vector<double>& fixed_prices) {
+  PM_CHECK(supply.size() == fixed_prices.size());
+  const std::string problem = bid::ValidateBids(bids, supply.size());
+  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
+
+  FixedPriceResult result;
+  result.chosen.assign(bids.size(), -1);
+  result.scale.assign(bids.size(), 0.0);
+
+  // Everyone claims their cheapest affordable bundle.
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    const int pick = PickAffordable(bids[u], fixed_prices);
+    if (pick < 0) continue;
+    result.chosen[u] = pick;
+    result.scale[u] = 1.0;
+  }
+
+  // Iteratively scale down claimants of oversubscribed pools. Each pass
+  // fixes the currently worst pool; terminates because scales only shrink.
+  const std::size_t num_pools = supply.size();
+  for (int pass = 0; pass < 64; ++pass) {
+    std::vector<double> demand(num_pools, 0.0);
+    for (std::size_t u = 0; u < bids.size(); ++u) {
+      if (result.chosen[u] < 0) continue;
+      const bid::Bundle& bundle =
+          bids[u].bundles[static_cast<std::size_t>(result.chosen[u])];
+      for (const bid::BundleItem& item : bundle.items()) {
+        if (item.qty > 0.0) {
+          demand[item.pool] += item.qty * result.scale[u];
+        }
+      }
+    }
+    double worst_ratio = 1.0;
+    std::size_t worst_pool = num_pools;
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      if (demand[r] > supply[r] + 1e-9) {
+        const double ratio = supply[r] / demand[r];
+        if (ratio < worst_ratio) {
+          worst_ratio = ratio;
+          worst_pool = r;
+        }
+      }
+    }
+    if (worst_pool == num_pools) break;  // Feasible.
+    for (std::size_t u = 0; u < bids.size(); ++u) {
+      if (result.chosen[u] < 0) continue;
+      const bid::Bundle& bundle =
+          bids[u].bundles[static_cast<std::size_t>(result.chosen[u])];
+      if (bundle.QuantityOf(static_cast<PoolId>(worst_pool)) > 0.0) {
+        result.scale[u] *= worst_ratio;
+      }
+    }
+  }
+
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    if (result.chosen[u] < 0) continue;
+    const bid::Bundle& bundle =
+        bids[u].bundles[static_cast<std::size_t>(result.chosen[u])];
+    result.operator_revenue +=
+        bundle.Dot(fixed_prices) * result.scale[u];
+  }
+  FinishShortageSurplus(bids, supply, result);
+  return result;
+}
+
+}  // namespace pm::auction

@@ -1,0 +1,60 @@
+#include "auction/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pm::auction {
+
+GreedyResult SolveGreedy(const std::vector<bid::Bid>& bids,
+                         const std::vector<double>& supply) {
+  const std::string problem = bid::ValidateBids(bids, supply.size());
+  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
+
+  auto best_limit = [&](std::size_t u) {
+    double best = bids[u].LimitFor(0);
+    for (std::size_t b = 1; b < bids[u].bundles.size(); ++b) {
+      best = std::max(best, bids[u].LimitFor(b));
+    }
+    return best;
+  };
+  std::vector<std::size_t> order(bids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return best_limit(a) > best_limit(b);
+                   });
+
+  GreedyResult result;
+  result.chosen.assign(bids.size(), -1);
+  std::vector<double> remaining = supply;
+
+  auto fits = [&](const bid::Bundle& bundle) {
+    for (const bid::BundleItem& item : bundle.items()) {
+      if (item.qty > 0.0 &&
+          item.qty > remaining[item.pool] + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (std::size_t u : order) {
+    for (std::size_t b = 0; b < bids[u].bundles.size(); ++b) {
+      const bid::Bundle& bundle = bids[u].bundles[b];
+      if (!fits(bundle)) continue;
+      for (const bid::BundleItem& item : bundle.items()) {
+        remaining[item.pool] -= item.qty;  // Sells add capacity back.
+      }
+      const double limit = bids[u].LimitFor(b);
+      result.chosen[u] = static_cast<int>(b);
+      result.total_surplus += limit;
+      result.operator_revenue += limit;  // Pay-as-bid.
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pm::auction

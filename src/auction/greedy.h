@@ -1,0 +1,35 @@
+// planetmarket: greedy pay-as-bid allocation (a fast heuristic baseline).
+//
+// A classic first-price heuristic for comparison with the clock auction:
+// sort bids by declared limit (descending), award each user their first
+// bundle that still fits in the remaining supply, charge them their bid.
+// No uniform prices, no fairness — exactly the §III.A criteria the clock
+// auction exists to satisfy — but near-optimal declared surplus on many
+// instances at O(U log U + U·B) cost.
+#pragma once
+
+#include <vector>
+
+#include "bid/bid.h"
+
+namespace pm::auction {
+
+/// Outcome of the greedy heuristic.
+struct GreedyResult {
+  /// chosen[u] = bundle index, or -1 for nothing.
+  std::vector<int> chosen;
+
+  /// Σ π_u over winners.
+  double total_surplus = 0.0;
+
+  /// Pay-as-bid revenue: Σ π_u over winners with π_u > 0 plus operator
+  /// payouts to sellers (π_u < 0).
+  double operator_revenue = 0.0;
+};
+
+/// Runs the greedy heuristic. Buy components consume remaining supply;
+/// sell components replenish it.
+GreedyResult SolveGreedy(const std::vector<bid::Bid>& bids,
+                         const std::vector<double>& supply);
+
+}  // namespace pm::auction

@@ -1,0 +1,179 @@
+#include "auction/increment_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pm::auction {
+namespace {
+
+class AdditivePolicy final : public IncrementPolicy {
+ public:
+  explicit AdditivePolicy(double alpha) : alpha_(alpha) {
+    PM_CHECK_MSG(alpha > 0.0, "alpha must be positive");
+  }
+
+  void ComputeStep(std::span<const double> excess,
+                   std::span<const double> /*prices*/,
+                   std::span<double> step) const override {
+    for (std::size_t r = 0; r < excess.size(); ++r) {
+      step[r] = excess[r] > 0.0 ? alpha_ * excess[r] : 0.0;
+    }
+  }
+
+  std::string_view Name() const override { return "additive"; }
+
+ private:
+  double alpha_;
+};
+
+class CappedPolicy final : public IncrementPolicy {
+ public:
+  CappedPolicy(double alpha, double delta) : alpha_(alpha), delta_(delta) {
+    PM_CHECK_MSG(alpha > 0.0 && delta > 0.0,
+                 "alpha and delta must be positive");
+  }
+
+  void ComputeStep(std::span<const double> excess,
+                   std::span<const double> /*prices*/,
+                   std::span<double> step) const override {
+    for (std::size_t r = 0; r < excess.size(); ++r) {
+      step[r] =
+          excess[r] > 0.0 ? std::min(alpha_ * excess[r], delta_) : 0.0;
+    }
+  }
+
+  std::string_view Name() const override { return "capped"; }
+
+ private:
+  double alpha_;
+  double delta_;
+};
+
+class RelativeCappedPolicy final : public IncrementPolicy {
+ public:
+  RelativeCappedPolicy(double alpha, double delta, double floor)
+      : alpha_(alpha), delta_(delta), floor_(floor) {
+    PM_CHECK_MSG(alpha > 0.0 && delta > 0.0 && floor > 0.0,
+                 "alpha, delta and floor must be positive");
+  }
+
+  void ComputeStep(std::span<const double> excess,
+                   std::span<const double> prices,
+                   std::span<double> step) const override {
+    for (std::size_t r = 0; r < excess.size(); ++r) {
+      if (excess[r] <= 0.0) {
+        step[r] = 0.0;
+        continue;
+      }
+      const double cap = std::max(delta_ * prices[r], floor_);
+      step[r] = std::min(alpha_ * excess[r], cap);
+    }
+  }
+
+  std::string_view Name() const override { return "relative-capped"; }
+
+ private:
+  double alpha_;
+  double delta_;
+  double floor_;
+};
+
+class CostNormalizedPolicy final : public IncrementPolicy {
+ public:
+  CostNormalizedPolicy(double alpha, double delta,
+                       std::vector<double> base_costs)
+      : alpha_(alpha), delta_(delta), weights_(std::move(base_costs)) {
+    PM_CHECK_MSG(alpha > 0.0 && delta > 0.0,
+                 "alpha and delta must be positive");
+    PM_CHECK_MSG(!weights_.empty(), "base costs must be provided");
+    double mean = 0.0;
+    for (double c : weights_) {
+      PM_CHECK_MSG(c > 0.0, "base costs must be positive");
+      mean += c;
+    }
+    mean /= static_cast<double>(weights_.size());
+    for (double& c : weights_) c /= mean;
+  }
+
+  void ComputeStep(std::span<const double> excess,
+                   std::span<const double> /*prices*/,
+                   std::span<double> step) const override {
+    PM_CHECK_MSG(excess.size() == weights_.size(),
+                 "cost-normalized policy built for " << weights_.size()
+                                                     << " pools, called with "
+                                                     << excess.size());
+    for (std::size_t r = 0; r < excess.size(); ++r) {
+      step[r] = excess[r] > 0.0
+                    ? weights_[r] * std::min(alpha_ * excess[r], delta_)
+                    : 0.0;
+    }
+  }
+
+  std::string_view Name() const override { return "cost-normalized"; }
+
+ private:
+  double alpha_;
+  double delta_;
+  std::vector<double> weights_;  // c_r / mean(c).
+};
+
+class MultiplicativePolicy final : public IncrementPolicy {
+ public:
+  MultiplicativePolicy(double alpha, double delta, double floor)
+      : alpha_(alpha), delta_(delta), floor_(floor) {
+    PM_CHECK_MSG(alpha > 0.0 && delta > 0.0 && floor > 0.0,
+                 "alpha, delta and floor must be positive");
+  }
+
+  void ComputeStep(std::span<const double> excess,
+                   std::span<const double> prices,
+                   std::span<double> step) const override {
+    for (std::size_t r = 0; r < excess.size(); ++r) {
+      if (excess[r] <= 0.0) {
+        step[r] = 0.0;
+        continue;
+      }
+      const double base = std::max(prices[r], floor_);
+      step[r] = base * std::min(alpha_ * excess[r], delta_);
+    }
+  }
+
+  std::string_view Name() const override { return "multiplicative"; }
+
+ private:
+  double alpha_;
+  double delta_;
+  double floor_;
+};
+
+}  // namespace
+
+std::unique_ptr<IncrementPolicy> MakeAdditivePolicy(double alpha) {
+  return std::make_unique<AdditivePolicy>(alpha);
+}
+
+std::unique_ptr<IncrementPolicy> MakeCappedPolicy(double alpha,
+                                                  double delta) {
+  return std::make_unique<CappedPolicy>(alpha, delta);
+}
+
+std::unique_ptr<IncrementPolicy> MakeRelativeCappedPolicy(double alpha,
+                                                          double delta,
+                                                          double floor) {
+  return std::make_unique<RelativeCappedPolicy>(alpha, delta, floor);
+}
+
+std::unique_ptr<IncrementPolicy> MakeCostNormalizedPolicy(
+    double alpha, double delta, std::vector<double> base_costs) {
+  return std::make_unique<CostNormalizedPolicy>(alpha, delta,
+                                                std::move(base_costs));
+}
+
+std::unique_ptr<IncrementPolicy> MakeMultiplicativePolicy(double alpha,
+                                                          double delta,
+                                                          double floor) {
+  return std::make_unique<MultiplicativePolicy>(alpha, delta, floor);
+}
+
+}  // namespace pm::auction

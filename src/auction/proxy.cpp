@@ -1,0 +1,50 @@
+#include "auction/proxy.h"
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace pm::auction {
+
+BidderProxy::BidderProxy(const bid::Bid* bid) : bid_(bid) {
+  PM_CHECK(bid != nullptr);
+  PM_CHECK_MSG(!bid->bundles.empty(), "proxy for bid without bundles");
+}
+
+ProxyDecision BidderProxy::Evaluate(std::span<const double> prices) const {
+  if (bid_->HasVectorLimits()) {
+    // Vector-π extension: the proxy demands the cheapest bundle among
+    // those individually affordable (cost_k ≤ π_k).
+    int best_index = ProxyDecision::kNothing;
+    double best_cost = 0.0;
+    for (std::size_t i = 0; i < bid_->bundles.size(); ++i) {
+      const double cost = bid_->bundles[i].Dot(prices);
+      if (cost > bid_->bundle_limits[i] + kPriceEps) continue;
+      if (best_index == ProxyDecision::kNothing ||
+          cost < best_cost - kPriceEps) {
+        best_index = static_cast<int>(i);
+        best_cost = cost;
+      }
+    }
+    if (best_index == ProxyDecision::kNothing) return ProxyDecision{};
+    return ProxyDecision{best_index, best_cost};
+  }
+
+  int best_index = ProxyDecision::kNothing;
+  double best_cost = 0.0;
+  for (std::size_t i = 0; i < bid_->bundles.size(); ++i) {
+    const double cost = bid_->bundles[i].Dot(prices);
+    if (best_index == ProxyDecision::kNothing ||
+        cost < best_cost - kPriceEps) {
+      best_index = static_cast<int>(i);
+      best_cost = cost;
+    }
+  }
+  // Affordability: q̂·p ≤ π (within tolerance). For sellers both sides are
+  // negative: cost −120 ≤ π −100 means "receives 120, wanted ≥ 100" — in.
+  if (best_cost <= bid_->limit + kPriceEps) {
+    return ProxyDecision{best_index, best_cost};
+  }
+  return ProxyDecision{};
+}
+
+}  // namespace pm::auction

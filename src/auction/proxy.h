@@ -1,0 +1,49 @@
+// planetmarket: bidder proxies.
+//
+// §III.C adapts the multi-round clock auction to a single-round sealed-bid
+// setting by introducing proxies that bid on behalf of users:
+//
+//   G_u(p) = q̂_u   if q̂_u·p ≤ π_u,  where q̂_u ∈ argmin_{q∈Q_u} q·p
+//          = 0     otherwise
+//
+// The same formula serves buyers (pay at most π), sellers (π < 0: receive
+// at least −π; argmin picks the *most lucrative* sale) and traders.
+#pragma once
+
+#include <span>
+
+#include "bid/bid.h"
+
+namespace pm::auction {
+
+/// What a proxy demands at the current prices.
+struct ProxyDecision {
+  /// Index into Bid::bundles, or kNothing when the proxy drops out.
+  int bundle_index = kNothing;
+
+  /// q̂·p of the chosen bundle (0 when nothing).
+  double cost = 0.0;
+
+  static constexpr int kNothing = -1;
+
+  bool Active() const { return bundle_index != kNothing; }
+};
+
+/// A deterministic proxy for one bid. Ties among equally cheap bundles are
+/// broken toward the lowest bundle index, making the whole auction
+/// reproducible.
+class BidderProxy {
+ public:
+  /// `bid` must outlive the proxy and already be validated.
+  explicit BidderProxy(const bid::Bid* bid);
+
+  /// Evaluates G_u(p). Thread-safe (const, no mutation).
+  ProxyDecision Evaluate(std::span<const double> prices) const;
+
+  const bid::Bid& bid() const { return *bid_; }
+
+ private:
+  const bid::Bid* bid_;
+};
+
+}  // namespace pm::auction

@@ -1,0 +1,76 @@
+#include "auction/settlement.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace pm::auction {
+
+Settlement Settle(const ClockAuction& auction,
+                  const ClockAuctionResult& result) {
+  const std::vector<bid::Bid>& bids = auction.bids();
+  PM_CHECK_MSG(result.decisions.size() == bids.size(),
+               "result does not match auction (decisions "
+                   << result.decisions.size() << ", bids " << bids.size()
+                   << ")");
+  const std::size_t num_pools = auction.NumPools();
+
+  Settlement s;
+  s.supply_sold.assign(num_pools, 0.0);
+  s.surplus_absorbed.assign(num_pools, 0.0);
+
+  std::vector<double> net(num_pools, 0.0);
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    const ProxyDecision& d = result.decisions[u];
+    if (!d.Active()) {
+      s.losers.push_back(bids[u].user);
+      continue;
+    }
+    const auto awarded_index = static_cast<std::size_t>(d.bundle_index);
+    const bid::Bundle& bundle = bids[u].bundles[awarded_index];
+    const double payment = bundle.Dot(result.prices);
+    const double limit = bids[u].LimitFor(awarded_index);
+    Award award;
+    award.user = bids[u].user;
+    award.bundle_index = d.bundle_index;
+    award.payment = payment;
+    award.premium =
+        std::abs(payment) > kPriceEps
+            ? std::abs(limit - payment) / std::abs(payment)
+            : std::numeric_limits<double>::quiet_NaN();
+    s.awards.push_back(award);
+    s.operator_revenue += payment;
+    bid::AccumulateInto(bundle, net);
+  }
+  for (std::size_t r = 0; r < num_pools; ++r) {
+    if (net[r] >= 0.0) {
+      s.supply_sold[r] = net[r];
+    } else {
+      s.surplus_absorbed[r] = -net[r];
+    }
+  }
+  s.settled_fraction =
+      bids.empty() ? 0.0
+                   : static_cast<double>(s.awards.size()) /
+                         static_cast<double>(bids.size());
+  return s;
+}
+
+PremiumStats ComputePremiumStats(const Settlement& settlement) {
+  std::vector<double> premiums;
+  premiums.reserve(settlement.awards.size());
+  for (const Award& a : settlement.awards) {
+    if (std::isfinite(a.premium)) premiums.push_back(a.premium);
+  }
+  PremiumStats stats;
+  stats.count = premiums.size();
+  if (!premiums.empty()) {
+    stats.median = stats::Median(premiums);
+    stats.mean = stats::Mean(premiums);
+  }
+  return stats;
+}
+
+}  // namespace pm::auction

@@ -1,0 +1,70 @@
+// planetmarket: settlement of a finished clock auction.
+//
+// Translates the final prices and proxy decisions into awards and
+// payments: winners take the cheapest bundle of their indifference set and
+// pay/receive x_u·p at the uniform linear prices (§III.A design goal 1-2).
+// The operator is the counterparty for the net position of every pool —
+// it sells consumed supply and absorbs any user-sold surplus.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "auction/clock_auction.h"
+
+namespace pm::auction {
+
+/// One winner's award.
+struct Award {
+  UserId user = kInvalidUser;
+
+  /// Index of the awarded bundle within the user's bid.
+  int bundle_index = 0;
+
+  /// x_u·p — positive: user pays; negative: user receives |payment|.
+  double payment = 0.0;
+
+  /// The bid premium γ_u = |π_u − x_u·p| / |x_u·p| of §V.C Eq. (5);
+  /// NaN when the payment is zero.
+  double premium = 0.0;
+};
+
+/// The settled outcome of one auction.
+struct Settlement {
+  /// Awards for winning users, in user order.
+  std::vector<Award> awards;
+
+  /// Users whose proxies dropped out (π too low at the final prices).
+  std::vector<UserId> losers;
+
+  /// Net operator cash flow: Σ payments. Positive: the operator is paid.
+  double operator_revenue = 0.0;
+
+  /// Per pool: units of operator supply consumed (≥ 0, ≤ supply).
+  std::vector<double> supply_sold;
+
+  /// Per pool: user-offered units beyond user demand, absorbed by the
+  /// operator (≥ 0).
+  std::vector<double> surplus_absorbed;
+
+  /// Fraction of bids that settled (|awards| / |bids|) — the "% settled"
+  /// column of Table I.
+  double settled_fraction = 0.0;
+};
+
+/// Computes the settlement from an auction and its result. The result must
+/// come from the same auction instance.
+Settlement Settle(const ClockAuction& auction,
+                  const ClockAuctionResult& result);
+
+/// Premium statistics over an auction's winners (Table I): median and mean
+/// of γ_u. Returns false when there are no winners with nonzero payment.
+struct PremiumStats {
+  double median = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+PremiumStats ComputePremiumStats(const Settlement& settlement);
+
+}  // namespace pm::auction

@@ -1,0 +1,152 @@
+#include "auction/system_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pm::auction {
+
+std::string SystemCheckResult::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << violations[i];
+  }
+  return os.str();
+}
+
+SystemCheckResult CheckSystemConstraints(const ClockAuction& auction,
+                                         const ClockAuctionResult& result,
+                                         double tolerance) {
+  SystemCheckResult check;
+  const std::vector<bid::Bid>& bids = auction.bids();
+  const std::size_t num_pools = auction.NumPools();
+  PM_CHECK(result.decisions.size() == bids.size());
+  PM_CHECK(result.prices.size() == num_pools);
+
+  auto violate = [&check](const std::string& message) {
+    check.violations.push_back(message);
+  };
+
+  // (6) p ≥ 0 and p ≥ reserve (the clock only moves prices up).
+  for (std::size_t r = 0; r < num_pools; ++r) {
+    if (result.prices[r] < -tolerance) {
+      std::ostringstream os;
+      os << "(6) price of pool " << r << " is negative: "
+         << result.prices[r];
+      violate(os.str());
+    }
+    if (result.prices[r] < auction.reserve_prices()[r] - tolerance) {
+      std::ostringstream os;
+      os << "(6) price of pool " << r << " fell below reserve: "
+         << result.prices[r] << " < " << auction.reserve_prices()[r];
+      violate(os.str());
+    }
+  }
+
+  // (2) Σ_u x_u − s ≤ 0.
+  std::vector<double> net(num_pools, 0.0);
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    const ProxyDecision& d = result.decisions[u];
+    if (!d.Active()) continue;
+    bid::AccumulateInto(
+        bids[u].bundles[static_cast<std::size_t>(d.bundle_index)], net);
+  }
+  for (std::size_t r = 0; r < num_pools; ++r) {
+    const double excess = net[r] - auction.supply()[r];
+    // Match the auction's own normalized stopping rule so that a
+    // converged result always passes: tolerance scales with supply.
+    const double slack =
+        tolerance * std::max(1.0, auction.supply()[r]);
+    if (excess > slack) {
+      std::ostringstream os;
+      os << "(2) pool " << r << " oversubscribed by " << excess;
+      violate(os.str());
+    }
+  }
+
+  // Per-user constraints.
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    const bid::Bid& bid = bids[u];
+    const ProxyDecision& d = result.decisions[u];
+
+    // (1) x_u ∈ {0 ∪ Q_u}: by construction the decision indexes Q_u;
+    // check bounds anyway (a corrupted result should not pass an audit).
+    if (d.Active() &&
+        (d.bundle_index < 0 ||
+         static_cast<std::size_t>(d.bundle_index) >= bid.bundles.size())) {
+      std::ostringstream os;
+      os << "(1) user " << bid.user << " was awarded bundle "
+         << d.bundle_index << " outside Q_u of size "
+         << bid.bundles.size();
+      violate(os.str());
+      continue;
+    }
+
+    // Cheapest bundle overall and cheapest *affordable* bundle. With the
+    // scalar π of the base model the two tests coincide; under the
+    // vector-π extension constraint (4) reads "winners attain the
+    // cheapest bundle they declared affordable" and (5) "losers can
+    // afford none".
+    double min_cost = 0.0;
+    bool first = true;
+    double min_affordable_cost = 0.0;
+    bool any_affordable = false;
+    for (std::size_t q = 0; q < bid.bundles.size(); ++q) {
+      const double cost = bid.bundles[q].Dot(result.prices);
+      if (first || cost < min_cost) {
+        min_cost = cost;
+        first = false;
+      }
+      if (cost <= bid.LimitFor(q) + tolerance &&
+          (!any_affordable || cost < min_affordable_cost)) {
+        min_affordable_cost = cost;
+        any_affordable = true;
+      }
+    }
+
+    if (d.Active()) {
+      const std::size_t awarded_index =
+          static_cast<std::size_t>(d.bundle_index);
+      const bid::Bundle& awarded = bid.bundles[awarded_index];
+      const double cost = awarded.Dot(result.prices);
+      const double limit = bid.LimitFor(awarded_index);
+      // (3) π_u ≥ x_u·p.
+      if (limit < cost - tolerance) {
+        std::ostringstream os;
+        os << "(3) winner " << bid.user << " pays " << cost
+           << " above limit " << limit;
+        violate(os.str());
+      }
+      // (4) x_u·p = min over (affordable) q of q·p.
+      const double cheapest =
+          bid.HasVectorLimits() ? min_affordable_cost : min_cost;
+      if (cost > cheapest + tolerance) {
+        std::ostringstream os;
+        os << "(4) winner " << bid.user << " got a bundle costing " << cost
+           << " but the cheapest was " << cheapest;
+        violate(os.str());
+      }
+    } else {
+      // (5) π_u < min_q q·p (scalar) / no bundle affordable (vector).
+      if (bid.HasVectorLimits()) {
+        if (any_affordable) {
+          std::ostringstream os;
+          os << "(5) loser " << bid.user
+             << " could still afford a bundle costing "
+             << min_affordable_cost;
+          violate(os.str());
+        }
+      } else if (bid.limit >= min_cost + tolerance) {
+        std::ostringstream os;
+        os << "(5) loser " << bid.user << " had limit " << bid.limit
+           << " >= cheapest bundle cost " << min_cost;
+        violate(os.str());
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace pm::auction

@@ -1,0 +1,41 @@
+// planetmarket: verifying the SYSTEM feasibility constraints (§III.B).
+//
+// Given an auction's bids, supply and a settled result, checks every
+// constraint of the SYSTEM program:
+//
+//   (1) x_u ∈ {0 ∪ Q_u}            one bundle or nothing, no scaling
+//   (2) Σ_u x_u ≤ s                no shortage is created
+//   (3) π_u ≥ x_u·p   ∀u ∈ W       winners bid enough
+//   (4) x_u·p = min_q q·p ∀u ∈ W   winners got their cheapest bundle
+//   (5) π_u < min_q q·p ∀u ∈ L     losers bid too little
+//   (6) p ≥ 0 (and p ≥ reserve)    prices non-negative, at/above reserve
+//
+// Used by tests (the clock auction must always land on a feasible point
+// when it converges, §III.C.4 property 3) and available to callers as a
+// post-settlement audit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "auction/clock_auction.h"
+
+namespace pm::auction {
+
+/// Result of a SYSTEM audit: empty `violations` means feasible.
+struct SystemCheckResult {
+  std::vector<std::string> violations;
+
+  bool Feasible() const { return violations.empty(); }
+
+  /// Joins violations for logs.
+  std::string ToString() const;
+};
+
+/// Audits `result` against the SYSTEM constraints. `tolerance` absorbs
+/// floating-point slack in the comparisons.
+SystemCheckResult CheckSystemConstraints(const ClockAuction& auction,
+                                         const ClockAuctionResult& result,
+                                         double tolerance = 1e-6);
+
+}  // namespace pm::auction

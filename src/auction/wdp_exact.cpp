@@ -1,0 +1,139 @@
+#include "auction/wdp_exact.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pm::auction {
+namespace {
+
+class Solver {
+ public:
+  Solver(const std::vector<bid::Bid>& bids,
+         const std::vector<double>& supply, long long node_budget)
+      : bids_(bids), supply_(supply), budget_(node_budget) {
+    // Sum of best-case limits from user u onward: the optimistic bound.
+    // Under the vector-π extension a user's best case is their largest
+    // per-bundle limit.
+    suffix_bound_.assign(bids_.size() + 1, 0.0);
+    for (std::size_t u = bids_.size(); u-- > 0;) {
+      double best = 0.0;
+      for (std::size_t b = 0; b < bids_[u].bundles.size(); ++b) {
+        best = std::max(best, bids_[u].LimitFor(b));
+      }
+      suffix_bound_[u] = suffix_bound_[u + 1] + best;
+    }
+    // Per-pool "relief" still available from users v >= u: the most
+    // negative (selling) contribution each can make. Feasibility is a
+    // property of the *final* winner set (Σ q ≤ s), so a partial sum may
+    // exceed supply as long as enough future sellers could still rescue
+    // it — pruning must account for that or seller-enabled allocations
+    // are never explored.
+    suffix_relief_.assign(bids_.size() + 1,
+                          std::vector<double>(supply_.size(), 0.0));
+    for (std::size_t u = bids_.size(); u-- > 0;) {
+      suffix_relief_[u] = suffix_relief_[u + 1];
+      for (std::size_t r = 0; r < supply_.size(); ++r) {
+        double best_sell = 0.0;  // "Nothing" contributes 0.
+        for (const bid::Bundle& bundle : bids_[u].bundles) {
+          best_sell = std::min(
+              best_sell, bundle.QuantityOf(static_cast<PoolId>(r)));
+        }
+        suffix_relief_[u][r] += best_sell;
+      }
+    }
+    used_.assign(supply_.size(), 0.0);
+    current_.assign(bids_.size(), -1);
+    result_.chosen.assign(bids_.size(), -1);
+    result_.total_surplus = 0.0;
+  }
+
+  WdpResult Run() {
+    if (Viable(0)) Recurse(0, 0.0);
+    result_.nodes_expanded = nodes_;
+    return result_;
+  }
+
+ private:
+  /// Can the current partial assignment still become feasible given the
+  /// best-case selling from users >= next_u? At next_u == bids_.size()
+  /// the relief is zero, so this is the exact Σ q ≤ s test.
+  bool Viable(std::size_t next_u) const {
+    for (std::size_t r = 0; r < supply_.size(); ++r) {
+      if (used_[r] + suffix_relief_[next_u][r] > supply_[r] + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Apply(const bid::Bundle& bundle, double sign) {
+    for (const bid::BundleItem& item : bundle.items()) {
+      used_[item.pool] += sign * item.qty;
+    }
+  }
+
+  void Recurse(std::size_t u, double surplus) {
+    if (nodes_ >= budget_) return;
+    ++nodes_;
+    if (surplus + suffix_bound_[u] <= result_.total_surplus + 1e-12) {
+      return;  // Even taking every remaining positive π cannot win.
+    }
+    if (u == bids_.size()) {
+      // Viable(size) held on entry, so this assignment is feasible.
+      if (surplus > result_.total_surplus) {
+        result_.total_surplus = surplus;
+        result_.chosen = current_;
+      }
+      return;
+    }
+    // Branch: each bundle of user u, then "nothing". Trying bundles first
+    // finds good incumbents early, which powers the bound.
+    for (std::size_t b = 0; b < bids_[u].bundles.size(); ++b) {
+      const bid::Bundle& bundle = bids_[u].bundles[b];
+      Apply(bundle, +1.0);
+      if (Viable(u + 1)) {
+        current_[u] = static_cast<int>(b);
+        Recurse(u + 1, surplus + bids_[u].LimitFor(b));
+        current_[u] = -1;
+      }
+      Apply(bundle, -1.0);
+    }
+    if (Viable(u + 1)) Recurse(u + 1, surplus);
+  }
+
+  const std::vector<bid::Bid>& bids_;
+  const std::vector<double>& supply_;
+  long long budget_;
+  long long nodes_ = 0;
+  std::vector<double> suffix_bound_;
+  std::vector<std::vector<double>> suffix_relief_;
+  std::vector<double> used_;
+  std::vector<int> current_;
+  WdpResult result_;
+};
+
+}  // namespace
+
+WdpResult SolveWdpExact(const std::vector<bid::Bid>& bids,
+                        const std::vector<double>& supply,
+                        long long node_budget) {
+  PM_CHECK_MSG(node_budget > 0, "node budget must be positive");
+  const std::string problem = bid::ValidateBids(bids, supply.size());
+  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
+  return Solver(bids, supply, node_budget).Run();
+}
+
+double DeclaredSurplus(const std::vector<bid::Bid>& bids,
+                       const std::vector<int>& chosen) {
+  PM_CHECK(bids.size() == chosen.size());
+  double total = 0.0;
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    if (chosen[u] >= 0) {
+      total += bids[u].LimitFor(static_cast<std::size_t>(chosen[u]));
+    }
+  }
+  return total;
+}
+
+}  // namespace pm::auction

@@ -1,0 +1,47 @@
+// planetmarket: exact winner determination (the intractable baseline).
+//
+// §III.C rules out VCG-style mechanisms because exact combinatorial winner
+// determination is NP-hard and produces non-uniform prices. To quantify
+// that trade-off we implement the exact optimizer anyway: maximize the
+// total declared surplus
+//
+//     max Σ_{u ∈ W} π_u    s.t.  Σ_{u ∈ W} q_u ≤ s,  one bundle or none per user
+//
+// by depth-first branch-and-bound (branch on each user's bundle-or-nothing
+// choice; bound by the sum of remaining positive limits). Exponential in
+// the worst case — which is exactly what bench/baseline_comparison
+// demonstrates against the linear clock auction.
+#pragma once
+
+#include <vector>
+
+#include "bid/bid.h"
+
+namespace pm::auction {
+
+/// Optimal allocation found by exhaustive search.
+struct WdpResult {
+  /// chosen[u] = bundle index awarded to user u, or -1 for nothing.
+  std::vector<int> chosen;
+
+  /// Σ π_u over winners — the objective value.
+  double total_surplus = 0.0;
+
+  /// Search-tree nodes expanded (the exponential cost metric).
+  long long nodes_expanded = 0;
+};
+
+/// Solves the WDP exactly. Intended for small instances (≤ ~20 users);
+/// `node_budget` aborts pathological searches — when exceeded, the best
+/// solution found so far is returned and `nodes_expanded` equals the
+/// budget.
+WdpResult SolveWdpExact(const std::vector<bid::Bid>& bids,
+                        const std::vector<double>& supply,
+                        long long node_budget = 50'000'000);
+
+/// Declared surplus of a clock-auction outcome under the same objective
+/// (Σ π_u over active users), for efficiency comparisons.
+double DeclaredSurplus(const std::vector<bid::Bid>& bids,
+                       const std::vector<int>& chosen);
+
+}  // namespace pm::auction

@@ -1,0 +1,146 @@
+#include "bid/bid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace pm::bid {
+
+std::string_view ToString(BidSide side) {
+  switch (side) {
+    case BidSide::kBuyer:
+      return "buyer";
+    case BidSide::kSeller:
+      return "seller";
+    case BidSide::kTrader:
+      return "trader";
+  }
+  return "unknown";
+}
+
+double Bid::LimitFor(std::size_t index) const {
+  PM_CHECK_MSG(index < bundles.size(),
+               "bundle index " << index << " out of range "
+                               << bundles.size());
+  if (bundle_limits.empty()) return limit;
+  return bundle_limits[index];
+}
+
+BidSide ClassifyBid(const Bid& bid) {
+  bool any_positive = false;
+  bool any_negative = false;
+  for (const Bundle& bundle : bid.bundles) {
+    for (const BundleItem& item : bundle.items()) {
+      if (item.qty > 0.0) any_positive = true;
+      if (item.qty < 0.0) any_negative = true;
+    }
+  }
+  if (any_positive && !any_negative) return BidSide::kBuyer;
+  if (any_negative && !any_positive) return BidSide::kSeller;
+  return BidSide::kTrader;
+}
+
+std::string ValidateBid(const Bid& bid, std::size_t num_pools) {
+  std::ostringstream os;
+  if (bid.bundles.empty()) {
+    os << "bid '" << bid.name << "' has no bundles";
+    return os.str();
+  }
+  if (!std::isfinite(bid.limit)) {
+    os << "bid '" << bid.name << "' has non-finite limit";
+    return os.str();
+  }
+  if (bid.HasVectorLimits()) {
+    if (bid.bundle_limits.size() != bid.bundles.size()) {
+      os << "bid '" << bid.name << "' has " << bid.bundle_limits.size()
+         << " per-bundle limits for " << bid.bundles.size()
+         << " bundles";
+      return os.str();
+    }
+    for (double l : bid.bundle_limits) {
+      if (!std::isfinite(l)) {
+        os << "bid '" << bid.name << "' has a non-finite bundle limit";
+        return os.str();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < bid.bundles.size(); ++i) {
+    const Bundle& bundle = bid.bundles[i];
+    if (bundle.Empty()) {
+      os << "bid '" << bid.name << "' bundle #" << i
+         << " is empty (omit it; 'nothing' is always an option)";
+      return os.str();
+    }
+    if (bundle.MinVectorSize() > num_pools) {
+      os << "bid '" << bid.name << "' bundle #" << i
+         << " references pool " << (bundle.MinVectorSize() - 1)
+         << " outside the registry of " << num_pools << " pools";
+      return os.str();
+    }
+  }
+  const BidSide side = ClassifyBid(bid);
+  if (bid.HasVectorLimits()) {
+    // Vector-π sanity: a buyer must find at least one alternative
+    // attainable; a seller's asks must all be revenue demands (≤ 0).
+    double max_limit = bid.bundle_limits[0];
+    double min_limit = bid.bundle_limits[0];
+    for (double l : bid.bundle_limits) {
+      max_limit = std::max(max_limit, l);
+      min_limit = std::min(min_limit, l);
+    }
+    if (side == BidSide::kBuyer && max_limit <= 0.0) {
+      os << "bid '" << bid.name
+         << "' demands resources but every bundle limit is non-positive";
+      return os.str();
+    }
+    if (side == BidSide::kSeller && max_limit > 0.0) {
+      os << "bid '" << bid.name
+         << "' only supplies resources but has a positive bundle limit";
+      return os.str();
+    }
+    return {};
+  }
+  if (side == BidSide::kBuyer && bid.limit <= 0.0) {
+    os << "bid '" << bid.name
+       << "' demands resources but offers a non-positive limit "
+       << bid.limit;
+    return os.str();
+  }
+  if (side == BidSide::kSeller && bid.limit > 0.0) {
+    os << "bid '" << bid.name
+       << "' only supplies resources but has a positive limit " << bid.limit
+       << " (sellers state a minimum revenue as a negative limit)";
+    return os.str();
+  }
+  return {};
+}
+
+std::string ValidateBids(const std::vector<Bid>& bids,
+                         std::size_t num_pools) {
+  std::unordered_set<UserId> seen;
+  for (const Bid& bid : bids) {
+    if (bid.user == kInvalidUser) {
+      return "bid '" + bid.name + "' has no user id (call AssignUserIds)";
+    }
+    if (!seen.insert(bid.user).second) {
+      std::ostringstream os;
+      os << "duplicate user id " << bid.user << " (bid '" << bid.name
+         << "')";
+      return os.str();
+    }
+    std::string problem = ValidateBid(bid, num_pools);
+    if (!problem.empty()) return problem;
+  }
+  return {};
+}
+
+void AssignUserIds(std::vector<Bid>& bids) {
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    bids[i].user = static_cast<UserId>(i);
+  }
+}
+
+}  // namespace pm::bid

@@ -1,0 +1,78 @@
+// planetmarket: bids.
+//
+// A bid is the paper's B_u = {Q_u, π_u} (§II): a set of bundles the user is
+// indifferent over (XOR semantics — the user wants exactly one of them or
+// nothing) plus a scalar limit. π_u > 0 is the maximum total payment for a
+// buyer; π_u < 0 encodes a seller's minimum acceptable payment -π_u.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bid/bundle.h"
+#include "common/types.h"
+
+namespace pm::bid {
+
+/// How a bid relates to the market: only demands, only supplies, or both
+/// (a "trader", §III.C.3 — the class for which clock-auction convergence is
+/// not guaranteed).
+enum class BidSide { kBuyer, kSeller, kTrader };
+
+std::string_view ToString(BidSide side);
+
+/// One user's sealed bid {Q_u, π_u}.
+struct Bid {
+  /// Dense participant index, assigned by the auction container.
+  UserId user = kInvalidUser;
+
+  /// Display label (team name); not used by the mechanism.
+  std::string name;
+
+  /// The indifference set Q_u. Semantics: the user wants exactly one of
+  /// these bundles, or nothing.
+  std::vector<Bundle> bundles;
+
+  /// π_u: max willingness to pay (> 0) or minus the minimum acceptable
+  /// revenue (< 0 for sellers).
+  double limit = 0.0;
+
+  /// Vector-π extension (§II: "Extending the model to allow for vector
+  /// π's, corresponding to distinct valuations for each individual user
+  /// bundle, does not significantly change our results"). When non-empty
+  /// it must have one entry per bundle; bundle k is then affordable iff
+  /// its cost ≤ bundle_limits[k], and `limit` is ignored.
+  std::vector<double> bundle_limits;
+
+  /// True when this bid uses the vector-π extension.
+  bool HasVectorLimits() const { return !bundle_limits.empty(); }
+
+  /// The limit applying to bundle `index` (the scalar π or the per-bundle
+  /// entry).
+  double LimitFor(std::size_t index) const;
+};
+
+/// Classifies a bid. A bid is a buyer iff every bundle is pure-buy with at
+/// least one positive component, a seller iff every bundle is pure-sell
+/// with at least one negative component, and a trader otherwise.
+BidSide ClassifyBid(const Bid& bid);
+
+/// Validates a bid's structure. Returns an empty string when valid, or a
+/// human-readable reason:
+///  - at least one bundle; no bundle empty (use "no bid" instead)
+///  - finite limit
+///  - every referenced pool < num_pools
+/// Economic sanity (a buyer with π <= 0 can never win) is reported too,
+/// since such bids are almost certainly user error.
+std::string ValidateBid(const Bid& bid, std::size_t num_pools);
+
+/// Validates a whole bid set: per-bid validation plus unique user ids.
+/// Returns empty when valid, else the first problem found.
+std::string ValidateBids(const std::vector<Bid>& bids,
+                         std::size_t num_pools);
+
+/// Assigns consecutive user ids (0..n-1) in vector order; convenient when
+/// constructing bid sets by hand or from the parser.
+void AssignUserIds(std::vector<Bid>& bids);
+
+}  // namespace pm::bid

@@ -1,0 +1,139 @@
+#include "bid/tbbl_flatten.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pm::bid {
+namespace {
+
+std::vector<Bundle> FlattenRec(const TbblNode& node, PoolRegistry& registry) {
+  switch (node.kind) {
+    case TbblKind::kLeaf: {
+      const PoolId pool = registry.Intern(node.cluster, node.resource);
+      return {Bundle({BundleItem{pool, node.qty}})};
+    }
+    case TbblKind::kXor: {
+      std::vector<Bundle> out;
+      for (const auto& child : node.children) {
+        std::vector<Bundle> sub = FlattenRec(*child, registry);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+      }
+      return out;
+    }
+    case TbblKind::kAnd: {
+      std::vector<Bundle> acc = {Bundle()};
+      for (const auto& child : node.children) {
+        const std::vector<Bundle> sub = FlattenRec(*child, registry);
+        std::vector<Bundle> next;
+        next.reserve(acc.size() * sub.size());
+        for (const Bundle& a : acc) {
+          for (const Bundle& b : sub) {
+            next.push_back(a + b);
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+void Deduplicate(std::vector<Bundle>& bundles) {
+  std::vector<Bundle> unique;
+  unique.reserve(bundles.size());
+  for (Bundle& b : bundles) {
+    if (std::find(unique.begin(), unique.end(), b) == unique.end()) {
+      unique.push_back(std::move(b));
+    }
+  }
+  bundles = std::move(unique);
+}
+
+}  // namespace
+
+std::vector<Bundle> FlattenTree(const TbblNode& node, PoolRegistry& registry,
+                                std::size_t max_bundles,
+                                std::string& error) {
+  error.clear();
+  const std::size_t alts = node.CountAlternatives(max_bundles + 1);
+  if (alts > max_bundles) {
+    std::ostringstream os;
+    os << "tree expands to more than " << max_bundles
+       << " bundles; restructure the bid or raise the limit";
+    error = os.str();
+    return {};
+  }
+  return FlattenRec(node, registry);
+}
+
+FlattenOutcome FlattenStatement(const TbblStatement& stmt,
+                                PoolRegistry& registry,
+                                std::size_t max_bundles) {
+  FlattenOutcome out;
+  PM_CHECK(stmt.root != nullptr);
+  std::string error;
+  std::vector<Bundle> bundles =
+      FlattenTree(*stmt.root, registry, max_bundles, error);
+  if (!error.empty()) {
+    out.error = "in '" + stmt.name + "': " + error;
+    return out;
+  }
+  if (stmt.is_offer) {
+    for (Bundle& b : bundles) b = -b;
+  }
+  Deduplicate(bundles);
+  // Flattening cannot produce an empty alternative set from a well-formed
+  // tree, but an and{} of cancelling leaves can produce an empty bundle;
+  // reject it here, where the statement name is known.
+  for (const Bundle& b : bundles) {
+    if (b.Empty()) {
+      out.error = "in '" + stmt.name +
+                  "': an alternative cancels to the empty bundle";
+      return out;
+    }
+  }
+  Bid bid;
+  bid.name = stmt.name;
+  bid.bundles = std::move(bundles);
+  bid.limit = stmt.is_offer ? -stmt.amount : stmt.amount;
+  out.bids.push_back(std::move(bid));
+  return out;
+}
+
+FlattenOutcome FlattenAll(const ParseResult& parsed, PoolRegistry& registry,
+                          std::size_t max_bundles) {
+  FlattenOutcome out;
+  for (const TbblStatement& stmt : parsed.statements) {
+    FlattenOutcome one = FlattenStatement(stmt, registry, max_bundles);
+    if (!one.ok()) {
+      out.error = std::move(one.error);
+      out.bids.clear();
+      return out;
+    }
+    out.bids.push_back(std::move(one.bids.front()));
+  }
+  AssignUserIds(out.bids);
+  return out;
+}
+
+FlattenOutcome CompileBids(std::string_view source, PoolRegistry& registry,
+                           std::size_t max_bundles) {
+  const ParseResult parsed = ParseTbbl(source);
+  if (!parsed.ok()) {
+    FlattenOutcome out;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < parsed.errors.size(); ++i) {
+      if (i > 0) os << "; ";
+      os << parsed.errors[i].ToString();
+    }
+    out.error = os.str();
+    return out;
+  }
+  return FlattenAll(parsed, registry, max_bundles);
+}
+
+}  // namespace pm::bid

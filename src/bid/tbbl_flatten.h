@@ -1,0 +1,61 @@
+// planetmarket: flattening bid-language trees into indifference sets.
+//
+// The clock auction consumes the paper's flat representation
+// Q_u = {q¹, q², …} (§II). Flattening expands a tree bottom-up:
+//
+//   leaf       → one single-item bundle
+//   and {...}  → cartesian product of the children's alternative sets,
+//                summing one pick per child
+//   xor {...}  → union of the children's alternative sets
+//
+// An AND over XORs multiplies alternatives, so flattening is guarded by
+// `max_bundles`; trees that would expand beyond it are rejected with a
+// diagnostic instead of exhausting memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bid/bid.h"
+#include "bid/tbbl_ast.h"
+#include "bid/tbbl_parser.h"
+#include "common/types.h"
+
+namespace pm::bid {
+
+/// Result of flattening one statement or file.
+struct FlattenOutcome {
+  std::vector<Bid> bids;
+  std::string error;  // Empty on success.
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Expansion guard defaults: generous for hand-written bids, small enough
+/// to stop adversarial AND-of-XOR towers.
+inline constexpr std::size_t kDefaultMaxBundles = 4096;
+
+/// Flattens a single tree into bundles. Pools are interned into `registry`
+/// on first reference (the bid language can thus *define* the pool set of
+/// a market). On failure returns an empty vector and sets `error`.
+std::vector<Bundle> FlattenTree(const TbblNode& node, PoolRegistry& registry,
+                                std::size_t max_bundles, std::string& error);
+
+/// Converts one parsed statement into an auction bid:
+///  - bid:   limit = +amount, quantities as written
+///  - offer: limit = −amount, quantities negated
+/// Duplicate bundles that arise from the expansion are deduplicated (they
+/// are economically identical).
+FlattenOutcome FlattenStatement(const TbblStatement& stmt,
+                                PoolRegistry& registry,
+                                std::size_t max_bundles = kDefaultMaxBundles);
+
+/// Flattens a whole parse result; user ids are assigned in file order.
+FlattenOutcome FlattenAll(const ParseResult& parsed, PoolRegistry& registry,
+                          std::size_t max_bundles = kDefaultMaxBundles);
+
+/// Convenience: parse + flatten. Parse errors are joined into `error`.
+FlattenOutcome CompileBids(std::string_view source, PoolRegistry& registry,
+                           std::size_t max_bundles = kDefaultMaxBundles);
+
+}  // namespace pm::bid

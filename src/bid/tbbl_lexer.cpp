@@ -1,0 +1,223 @@
+#include "bid/tbbl_lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace pm::bid {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+TokenKind KeywordOrIdent(std::string_view text) {
+  if (text == "bid") return TokenKind::kKwBid;
+  if (text == "offer") return TokenKind::kKwOffer;
+  if (text == "limit") return TokenKind::kKwLimit;
+  if (text == "min") return TokenKind::kKwMin;
+  if (text == "xor") return TokenKind::kKwXor;
+  if (text == "and") return TokenKind::kKwAnd;
+  return TokenKind::kIdent;
+}
+
+}  // namespace
+
+std::string_view ToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kKwBid:
+      return "'bid'";
+    case TokenKind::kKwOffer:
+      return "'offer'";
+    case TokenKind::kKwLimit:
+      return "'limit'";
+    case TokenKind::kKwMin:
+      return "'min'";
+    case TokenKind::kKwXor:
+      return "'xor'";
+    case TokenKind::kKwAnd:
+      return "'and'";
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kError:
+      return "lexical error";
+  }
+  return "unknown token";
+}
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto make = [&](TokenKind kind, std::string text, int tok_line,
+                  int tok_col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tok_line;
+    t.column = tok_col;
+    return t;
+  };
+
+  auto fail = [&](std::string message, int tok_line, int tok_col) {
+    tokens.push_back(
+        make(TokenKind::kError, std::move(message), tok_line, tok_col));
+    tokens.push_back(make(TokenKind::kEnd, "", tok_line, tok_col));
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == ',') {
+      // Commas are insignificant separators, allowed for readability.
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    const int tok_line = line;
+    const int tok_col = column;
+    if (c == '{') {
+      tokens.push_back(make(TokenKind::kLBrace, "{", tok_line, tok_col));
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '}') {
+      tokens.push_back(make(TokenKind::kRBrace, "}", tok_line, tok_col));
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == ':') {
+      tokens.push_back(make(TokenKind::kColon, ":", tok_line, tok_col));
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '@') {
+      tokens.push_back(make(TokenKind::kAt, "@", tok_line, tok_col));
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '"') {
+      std::string value;
+      ++i;
+      ++column;
+      bool closed = false;
+      while (i < source.size()) {
+        const char s = source[i];
+        if (s == '\n') break;  // Unterminated.
+        if (s == '\\' && i + 1 < source.size()) {
+          const char esc = source[i + 1];
+          if (esc == '"' || esc == '\\') {
+            value += esc;
+            i += 2;
+            column += 2;
+            continue;
+          }
+        }
+        if (s == '"') {
+          closed = true;
+          ++i;
+          ++column;
+          break;
+        }
+        value += s;
+        ++i;
+        ++column;
+      }
+      if (!closed) {
+        fail("unterminated string literal", tok_line, tok_col);
+        return tokens;
+      }
+      tokens.push_back(
+          make(TokenKind::kString, std::move(value), tok_line, tok_col));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      std::size_t j = i;
+      if (source[j] == '-' || source[j] == '+') ++j;
+      std::size_t digits = 0;
+      while (j < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[j])) ||
+              source[j] == '.')) {
+        if (source[j] != '.') ++digits;
+        ++j;
+      }
+      if (digits == 0) {
+        fail("expected digits in number", tok_line, tok_col);
+        return tokens;
+      }
+      const std::string_view text = source.substr(i, j - i);
+      // std::from_chars rejects a leading '+'; strip it (the sign is a
+      // no-op anyway).
+      std::string_view parse_text = text;
+      if (!parse_text.empty() && parse_text.front() == '+') {
+        parse_text.remove_prefix(1);
+      }
+      double value = 0.0;
+      const auto [ptr, ec] = std::from_chars(
+          parse_text.data(), parse_text.data() + parse_text.size(), value);
+      if (ec != std::errc() || ptr != parse_text.data() + parse_text.size()) {
+        fail("malformed number '" + std::string(text) + "'", tok_line,
+             tok_col);
+        return tokens;
+      }
+      Token t = make(TokenKind::kNumber, std::string(text), tok_line,
+                     tok_col);
+      t.number = value;
+      tokens.push_back(std::move(t));
+      column += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < source.size() && IsIdentBody(source[j])) ++j;
+      const std::string text(source.substr(i, j - i));
+      tokens.push_back(
+          make(KeywordOrIdent(text), text, tok_line, tok_col));
+      column += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    fail(std::string("unexpected character '") + c + "'", tok_line,
+         tok_col);
+    return tokens;
+  }
+  tokens.push_back(make(TokenKind::kEnd, "", line, column));
+  return tokens;
+}
+
+}  // namespace pm::bid

@@ -1,0 +1,46 @@
+// planetmarket: lexer for the tree-based bidding language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pm::bid {
+
+/// Token categories. Keywords are distinguished from identifiers so the
+/// parser never has to re-compare strings.
+enum class TokenKind {
+  kIdent,    // cluster names, resource kinds
+  kNumber,   // decimal literal, optional sign and fraction
+  kString,   // double-quoted, supports \" and \\ escapes
+  kLBrace,   // {
+  kRBrace,   // }
+  kColon,    // :
+  kAt,       // @
+  kKwBid,    // bid
+  kKwOffer,  // offer
+  kKwLimit,  // limit
+  kKwMin,    // min
+  kKwXor,    // xor
+  kKwAnd,    // and
+  kEnd,      // end of input
+  kError,    // lexical error; text holds the message
+};
+
+std::string_view ToString(TokenKind kind);
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // Raw spelling (unescaped content for strings).
+  double number = 0.0;  // Valid when kind == kNumber.
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input. '#' starts a comment running to end of line.
+/// On a lexical error the stream contains a kError token at the offending
+/// location followed by kEnd; the caller reports it and stops.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace pm::bid

@@ -1,0 +1,169 @@
+#include "bid/tbbl_parser.h"
+
+#include <sstream>
+
+#include "bid/tbbl_lexer.h"
+
+namespace pm::bid {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(Tokenize(source)) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    if (Peek().kind == TokenKind::kError) {
+      Fail(result, Peek().text);
+      return result;
+    }
+    while (Peek().kind != TokenKind::kEnd) {
+      if (Peek().kind != TokenKind::kKwBid &&
+          Peek().kind != TokenKind::kKwOffer) {
+        Fail(result, std::string("expected 'bid' or 'offer', found ") +
+                         std::string(ToString(Peek().kind)));
+        return result;
+      }
+      TbblStatement stmt;
+      if (!ParseStatement(result, stmt)) return result;
+      result.statements.push_back(std::move(stmt));
+    }
+    return result;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Expect(ParseResult& result, TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      std::ostringstream os;
+      os << "expected " << what << ", found " << ToString(Peek().kind);
+      if (!Peek().text.empty() && Peek().kind != TokenKind::kEnd) {
+        os << " '" << Peek().text << "'";
+      }
+      Fail(result, os.str());
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  void Fail(ParseResult& result, std::string message) {
+    result.errors.push_back(
+        ParseError{std::move(message), Peek().line, Peek().column});
+  }
+
+  bool ParseStatement(ParseResult& result, TbblStatement& stmt) {
+    stmt.is_offer = Peek().kind == TokenKind::kKwOffer;
+    Advance();  // bid/offer keyword.
+    if (Peek().kind != TokenKind::kString) {
+      Fail(result, "expected quoted participant name");
+      return false;
+    }
+    stmt.name = Advance().text;
+    const TokenKind amount_kw =
+        stmt.is_offer ? TokenKind::kKwMin : TokenKind::kKwLimit;
+    if (!Expect(result, amount_kw, stmt.is_offer ? "'min'" : "'limit'")) {
+      return false;
+    }
+    if (Peek().kind != TokenKind::kNumber) {
+      Fail(result, "expected amount");
+      return false;
+    }
+    stmt.amount = Advance().number;
+    if (stmt.amount < 0.0) {
+      --pos_;  // Point the diagnostic at the number itself.
+      Fail(result,
+           "amounts are written non-negative; direction comes from "
+           "bid/offer");
+      return false;
+    }
+    if (!Expect(result, TokenKind::kLBrace, "'{'")) return false;
+    stmt.root = ParseNode(result);
+    if (stmt.root == nullptr) return false;
+    return Expect(result, TokenKind::kRBrace, "'}'");
+  }
+
+  std::unique_ptr<TbblNode> ParseNode(ParseResult& result) {
+    if (Peek().kind == TokenKind::kKwXor ||
+        Peek().kind == TokenKind::kKwAnd) {
+      const bool is_xor = Peek().kind == TokenKind::kKwXor;
+      Advance();
+      if (!Expect(result, TokenKind::kLBrace, "'{'")) return nullptr;
+      std::vector<std::unique_ptr<TbblNode>> children;
+      while (Peek().kind != TokenKind::kRBrace) {
+        if (Peek().kind == TokenKind::kEnd) {
+          Fail(result, "unterminated node; expected '}'");
+          return nullptr;
+        }
+        auto child = ParseNode(result);
+        if (child == nullptr) return nullptr;
+        children.push_back(std::move(child));
+      }
+      Advance();  // '}'
+      if (children.empty()) {
+        Fail(result, is_xor ? "xor{} needs at least one alternative"
+                            : "and{} needs at least one part");
+        return nullptr;
+      }
+      return is_xor ? TbblNode::Xor(std::move(children))
+                    : TbblNode::And(std::move(children));
+    }
+    return ParseLeaf(result);
+  }
+
+  std::unique_ptr<TbblNode> ParseLeaf(ParseResult& result) {
+    if (Peek().kind != TokenKind::kIdent) {
+      Fail(result, std::string("expected resource leaf (kind@cluster: "
+                               "qty), found ") +
+                       std::string(ToString(Peek().kind)));
+      return nullptr;
+    }
+    const Token kind_tok = Advance();
+    const auto kind = ParseResourceKind(kind_tok.text);
+    if (!kind.has_value()) {
+      result.errors.push_back(ParseError{
+          "unknown resource kind '" + kind_tok.text +
+              "' (expected cpu, ram or disk)",
+          kind_tok.line, kind_tok.column});
+      return nullptr;
+    }
+    if (!Expect(result, TokenKind::kAt, "'@'")) return nullptr;
+    if (Peek().kind != TokenKind::kIdent) {
+      Fail(result, "expected cluster name after '@'");
+      return nullptr;
+    }
+    const std::string cluster = Advance().text;
+    if (!Expect(result, TokenKind::kColon, "':'")) return nullptr;
+    if (Peek().kind != TokenKind::kNumber) {
+      Fail(result, "expected quantity");
+      return nullptr;
+    }
+    const Token qty_tok = Advance();
+    if (qty_tok.number == 0.0) {
+      result.errors.push_back(ParseError{"zero quantity has no effect",
+                                         qty_tok.line, qty_tok.column});
+      return nullptr;
+    }
+    return TbblNode::Leaf(*kind, cluster, qty_tok.number);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ParseError::ToString() const {
+  std::ostringstream os;
+  os << line << ':' << column << ": " << message;
+  return os.str();
+}
+
+ParseResult ParseTbbl(std::string_view source) {
+  return Parser(source).Run();
+}
+
+}  // namespace pm::bid

@@ -1,0 +1,47 @@
+// planetmarket: recursive-descent parser for the bidding language.
+//
+// Grammar (commas are whitespace):
+//
+//   file  := stmt*
+//   stmt  := "bid"   STRING "limit" NUMBER "{" node "}"
+//          | "offer" STRING "min"   NUMBER "{" node "}"
+//   node  := "xor" "{" node+ "}"
+//          | "and" "{" node+ "}"
+//          | leaf
+//   leaf  := IDENT "@" IDENT ":" NUMBER        (kind @ cluster : qty)
+//
+// Resource kinds must be cpu/ram/disk. Errors carry 1-based line/column.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bid/tbbl_ast.h"
+
+namespace pm::bid {
+
+/// A parse diagnostic at a source position.
+struct ParseError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  /// "line:col: message"
+  std::string ToString() const;
+};
+
+/// Result of parsing a bidding-language source file.
+struct ParseResult {
+  std::vector<TbblStatement> statements;
+  std::vector<ParseError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses an entire source text. On error, parsing stops at the first
+/// diagnostic (the language is simple enough that resynchronisation is not
+/// worth imprecise follow-on errors).
+ParseResult ParseTbbl(std::string_view source);
+
+}  // namespace pm::bid

@@ -1,0 +1,105 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pm::cluster {
+
+Cluster::Cluster(std::string name, std::vector<Machine> machines)
+    : name_(std::move(name)), machines_(std::move(machines)) {
+  PM_CHECK_MSG(!name_.empty(), "cluster needs a name");
+}
+
+Cluster Cluster::Homogeneous(std::string name, int num_machines,
+                             const TaskShape& machine_capacity) {
+  PM_CHECK_MSG(num_machines > 0, "cluster needs at least one machine");
+  std::vector<Machine> machines;
+  machines.reserve(static_cast<std::size_t>(num_machines));
+  for (int i = 0; i < num_machines; ++i) {
+    machines.emplace_back(machine_capacity);
+  }
+  return Cluster(std::move(name), std::move(machines));
+}
+
+bool Cluster::AddJob(const Job& job, PlacementPolicy policy) {
+  PM_CHECK_MSG(jobs_.count(job.id) == 0,
+               "job " << job.id << " already in cluster " << name_);
+  PlacementResult placement =
+      PlaceTasks(machines_, job.shape, job.tasks, policy);
+  if (!placement.Complete()) {
+    UndoPlacement(machines_, job.shape, placement);
+    return false;
+  }
+  jobs_.emplace(job.id, PlacedJob{job, std::move(placement), next_order_++});
+  return true;
+}
+
+std::optional<Job> Cluster::RemoveJob(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  UndoPlacement(machines_, it->second.job.shape, it->second.placement);
+  Job job = std::move(it->second.job);
+  jobs_.erase(it);
+  return job;
+}
+
+std::vector<JobId> Cluster::JobIds() const {
+  std::vector<const PlacedJob*> placed;
+  placed.reserve(jobs_.size());
+  for (const auto& [id, pj] : jobs_) placed.push_back(&pj);
+  std::sort(placed.begin(), placed.end(),
+            [](const PlacedJob* a, const PlacedJob* b) {
+              return a->order < b->order;
+            });
+  std::vector<JobId> ids;
+  ids.reserve(placed.size());
+  for (const PlacedJob* pj : placed) ids.push_back(pj->job.id);
+  return ids;
+}
+
+const Job* Cluster::FindJob(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second.job;
+}
+
+double Cluster::Capacity(ResourceKind kind) const {
+  double total = 0.0;
+  for (const Machine& m : machines_) total += m.capacity().Of(kind);
+  return total;
+}
+
+double Cluster::Used(ResourceKind kind) const {
+  double total = 0.0;
+  for (const Machine& m : machines_) total += m.used().Of(kind);
+  return total;
+}
+
+double Cluster::Utilization(ResourceKind kind) const {
+  const double cap = Capacity(kind);
+  if (cap <= 0.0) return 0.0;
+  return Used(kind) / cap;
+}
+
+double Cluster::MaxUtilization() const {
+  double u = 0.0;
+  for (ResourceKind kind : kAllResourceKinds) {
+    u = std::max(u, Utilization(kind));
+  }
+  return u;
+}
+
+double Cluster::Free(ResourceKind kind) const {
+  return Capacity(kind) - Used(kind);
+}
+
+bool Cluster::CanFit(const Job& job, PlacementPolicy policy) const {
+  // Trial placement on a copy of the machine state. Machine copies are
+  // cheap (two shapes); clusters have O(100..1000) machines.
+  std::vector<Machine> scratch = machines_;
+  const PlacementResult r = PlaceTasks(scratch, job.shape, job.tasks,
+                                       policy);
+  return r.Complete();
+}
+
+}  // namespace pm::cluster

@@ -1,0 +1,77 @@
+// planetmarket: a cluster of machines hosting jobs.
+//
+// Clusters are the paper's location axis of the pool space: every cluster
+// contributes one pool per resource kind ("CPUs in cluster 1"). A cluster
+// owns its machines and its placed jobs, and reports the utilization
+// metric ψ(r) that drives congestion-weighted reserve pricing (§IV).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/scheduler.h"
+
+namespace pm::cluster {
+
+/// A named cluster: machines + job placements.
+class Cluster {
+ public:
+  Cluster(std::string name, std::vector<Machine> machines);
+
+  /// Builds a homogeneous cluster of `num_machines` identical machines.
+  static Cluster Homogeneous(std::string name, int num_machines,
+                             const TaskShape& machine_capacity);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Machine>& machines() const { return machines_; }
+  std::size_t NumMachines() const { return machines_.size(); }
+
+  /// Tries to place every task of `job`. Atomic: on failure nothing
+  /// changes and false is returned.
+  bool AddJob(const Job& job, PlacementPolicy policy);
+
+  /// Removes a job and frees its resources. Returns the job if present.
+  std::optional<Job> RemoveJob(JobId id);
+
+  /// Whether the given job currently runs here.
+  bool HasJob(JobId id) const { return jobs_.count(id) > 0; }
+
+  /// Jobs currently placed, in insertion order.
+  std::vector<JobId> JobIds() const;
+
+  const Job* FindJob(JobId id) const;
+
+  /// Total capacity across machines for a resource kind.
+  double Capacity(ResourceKind kind) const;
+
+  /// Total usage across machines for a resource kind.
+  double Used(ResourceKind kind) const;
+
+  /// ψ for one dimension: Used/Capacity in [0, 1] (0 when no capacity).
+  double Utilization(ResourceKind kind) const;
+
+  /// Max utilization across dimensions — the binding constraint.
+  double MaxUtilization() const;
+
+  /// Headroom: capacity − used per dimension.
+  double Free(ResourceKind kind) const;
+
+  /// Would `job` fit right now (non-mutating check)?
+  bool CanFit(const Job& job, PlacementPolicy policy) const;
+
+ private:
+  struct PlacedJob {
+    Job job;
+    PlacementResult placement;
+    std::size_t order;  // Insertion order for deterministic iteration.
+  };
+
+  std::string name_;
+  std::vector<Machine> machines_;
+  std::unordered_map<JobId, PlacedJob> jobs_;
+  std::size_t next_order_ = 0;
+};
+
+}  // namespace pm::cluster

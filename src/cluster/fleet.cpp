@@ -1,0 +1,181 @@
+#include "cluster/fleet.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace pm::cluster {
+
+Fleet::Fleet(std::vector<Cluster> clusters, TaskShape unit_costs,
+             PlacementPolicy policy)
+    : clusters_(std::move(clusters)),
+      unit_costs_(unit_costs),
+      policy_(policy) {
+  PM_CHECK_MSG(!clusters_.empty(), "fleet needs at least one cluster");
+  PM_CHECK_MSG(unit_costs_.cpu > 0 && unit_costs_.ram_gb > 0 &&
+                   unit_costs_.disk_tb > 0,
+               "unit costs must be positive");
+  // Intern pools cluster-major, kind-minor so PoolIds group by cluster.
+  for (const Cluster& c : clusters_) {
+    for (ResourceKind kind : kAllResourceKinds) {
+      registry_.Intern(c.name(), kind);
+    }
+  }
+  PM_CHECK_MSG(registry_.size() ==
+                   clusters_.size() * kNumResourceKinds,
+               "duplicate cluster names in fleet");
+}
+
+std::vector<std::string> Fleet::ClusterNames() const {
+  std::vector<std::string> names;
+  names.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) names.push_back(c.name());
+  return names;
+}
+
+std::size_t Fleet::IndexOf(const std::string& cluster) const {
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (clusters_[i].name() == cluster) return i;
+  }
+  PM_CHECK_MSG(false, "unknown cluster '" << cluster << "'");
+  return 0;
+}
+
+Cluster& Fleet::ClusterByName(const std::string& name) {
+  return clusters_[IndexOf(name)];
+}
+
+const Cluster& Fleet::ClusterByName(const std::string& name) const {
+  return clusters_[IndexOf(name)];
+}
+
+bool Fleet::HasCluster(const std::string& name) const {
+  return std::any_of(clusters_.begin(), clusters_.end(),
+                     [&](const Cluster& c) { return c.name() == name; });
+}
+
+std::vector<double> Fleet::CapacityVector() const {
+  std::vector<double> v(registry_.size(), 0.0);
+  for (const Cluster& c : clusters_) {
+    for (ResourceKind kind : kAllResourceKinds) {
+      const auto id = registry_.Find(PoolKey{c.name(), kind});
+      PM_CHECK(id.has_value());
+      v[*id] = c.Capacity(kind);
+    }
+  }
+  return v;
+}
+
+std::vector<double> Fleet::UsedVector() const {
+  std::vector<double> v(registry_.size(), 0.0);
+  for (const Cluster& c : clusters_) {
+    for (ResourceKind kind : kAllResourceKinds) {
+      const auto id = registry_.Find(PoolKey{c.name(), kind});
+      PM_CHECK(id.has_value());
+      v[*id] = c.Used(kind);
+    }
+  }
+  return v;
+}
+
+std::vector<double> Fleet::FreeVector() const {
+  std::vector<double> capacity = CapacityVector();
+  const std::vector<double> used = UsedVector();
+  for (std::size_t i = 0; i < capacity.size(); ++i) {
+    capacity[i] = std::max(0.0, capacity[i] - used[i]);
+  }
+  return capacity;
+}
+
+std::vector<double> Fleet::UtilizationVector() const {
+  std::vector<double> v(registry_.size(), 0.0);
+  for (const Cluster& c : clusters_) {
+    for (ResourceKind kind : kAllResourceKinds) {
+      const auto id = registry_.Find(PoolKey{c.name(), kind});
+      PM_CHECK(id.has_value());
+      v[*id] = c.Utilization(kind);
+    }
+  }
+  return v;
+}
+
+std::vector<double> Fleet::CostVector() const {
+  std::vector<double> v(registry_.size(), 0.0);
+  for (PoolId id = 0; id < registry_.size(); ++id) {
+    v[id] = unit_costs_.Of(registry_.KeyOf(id).kind);
+  }
+  return v;
+}
+
+bool Fleet::AddJob(const std::string& cluster, const Job& job) {
+  return ClusterByName(cluster).AddJob(job, policy_);
+}
+
+std::optional<Job> Fleet::RemoveJob(JobId id) {
+  for (Cluster& c : clusters_) {
+    if (c.HasJob(id)) return c.RemoveJob(id);
+  }
+  return std::nullopt;
+}
+
+bool Fleet::MoveJob(JobId id, const std::string& to_cluster) {
+  Cluster& dest = ClusterByName(to_cluster);
+  for (Cluster& c : clusters_) {
+    if (!c.HasJob(id)) continue;
+    if (&c == &dest) return true;  // Already there.
+    std::optional<Job> job = c.RemoveJob(id);
+    PM_CHECK(job.has_value());
+    if (dest.AddJob(*job, policy_)) return true;
+    // Destination full: put it back. The source must still fit it, since
+    // removal freed exactly the space the job occupied.
+    const bool restored = c.AddJob(*job, policy_);
+    PM_CHECK_MSG(restored, "failed to restore job " << id
+                                                    << " after aborted move");
+    return false;
+  }
+  return false;
+}
+
+std::string Fleet::LocateJob(JobId id) const {
+  for (const Cluster& c : clusters_) {
+    if (c.HasJob(id)) return c.name();
+  }
+  return {};
+}
+
+std::vector<JobLocation> Fleet::AllJobs() const {
+  std::vector<JobLocation> out;
+  for (const Cluster& c : clusters_) {
+    for (JobId id : c.JobIds()) {
+      out.push_back(JobLocation{id, c.name()});
+    }
+  }
+  return out;
+}
+
+double Fleet::FleetUtilization(ResourceKind kind) const {
+  double used = 0.0, cap = 0.0;
+  for (const Cluster& c : clusters_) {
+    used += c.Used(kind);
+    cap += c.Capacity(kind);
+  }
+  if (cap <= 0.0) return 0.0;
+  return used / cap;
+}
+
+double Fleet::UtilizationPercentile(const std::string& cluster,
+                                    ResourceKind kind) const {
+  std::vector<double> utils;
+  utils.reserve(clusters_.size());
+  double target = 0.0;
+  for (const Cluster& c : clusters_) {
+    const double u = c.Utilization(kind);
+    utils.push_back(u);
+    if (c.name() == cluster) target = u;
+  }
+  PM_CHECK_MSG(HasCluster(cluster), "unknown cluster '" << cluster << "'");
+  return stats::PercentileRank(utils, target);
+}
+
+}  // namespace pm::cluster

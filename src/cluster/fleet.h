@@ -1,0 +1,96 @@
+// planetmarket: the planet-wide fleet.
+//
+// A Fleet aggregates clusters into the market's pool space: each
+// (cluster, resource-kind) pair is interned as one PoolId, and all
+// per-pool quantities the auction needs — capacity, usage, free supply,
+// utilization ψ(r), unit cost c(r) — are exposed as dense vectors indexed
+// by PoolId. The fleet also executes the physical side of settled trades:
+// moving a team's jobs between clusters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/types.h"
+
+namespace pm::cluster {
+
+/// Fleet-wide job handle: which cluster a job lives in.
+struct JobLocation {
+  JobId job = 0;
+  std::string cluster;
+};
+
+/// The set of clusters participating in the market.
+class Fleet {
+ public:
+  /// `unit_costs` gives the operator's real cost c(r) per unit of each
+  /// resource kind (e.g. $/core, $/GB, $/TB per auction period); the
+  /// reserve pricer scales these by the congestion weighting.
+  Fleet(std::vector<Cluster> clusters, TaskShape unit_costs,
+        PlacementPolicy policy = PlacementPolicy::kBestFit);
+
+  const PoolRegistry& registry() const { return registry_; }
+  std::size_t NumPools() const { return registry_.size(); }
+
+  std::vector<std::string> ClusterNames() const;
+  std::size_t NumClusters() const { return clusters_.size(); }
+
+  Cluster& ClusterByName(const std::string& name);
+  const Cluster& ClusterByName(const std::string& name) const;
+  bool HasCluster(const std::string& name) const;
+
+  PlacementPolicy policy() const { return policy_; }
+
+  /// Dense per-pool capacity vector.
+  std::vector<double> CapacityVector() const;
+
+  /// Dense per-pool usage vector.
+  std::vector<double> UsedVector() const;
+
+  /// Dense per-pool free capacity (what the operator can sell).
+  std::vector<double> FreeVector() const;
+
+  /// Dense per-pool utilization ψ(r) in [0, 1].
+  std::vector<double> UtilizationVector() const;
+
+  /// Dense per-pool unit cost c(r).
+  std::vector<double> CostVector() const;
+
+  /// Places a new job in a cluster. Returns false (and leaves the fleet
+  /// unchanged) if it does not fit.
+  bool AddJob(const std::string& cluster, const Job& job);
+
+  /// Removes a job wherever it lives. Returns it, or nullopt if unknown.
+  std::optional<Job> RemoveJob(JobId id);
+
+  /// Moves a job between clusters. Atomic: if the destination cannot hold
+  /// it, the job stays where it was and false is returned.
+  bool MoveJob(JobId id, const std::string& to_cluster);
+
+  /// Cluster currently hosting a job (empty if none).
+  std::string LocateJob(JobId id) const;
+
+  /// All jobs with their locations, ordered by cluster then placement.
+  std::vector<JobLocation> AllJobs() const;
+
+  /// Total fleet-wide utilization of one resource kind.
+  double FleetUtilization(ResourceKind kind) const;
+
+  /// Percentile rank (0–100) of `cluster`'s utilization of `kind` among
+  /// all clusters — the y-axis metric of Figure 7.
+  double UtilizationPercentile(const std::string& cluster,
+                               ResourceKind kind) const;
+
+ private:
+  std::size_t IndexOf(const std::string& cluster) const;
+
+  std::vector<Cluster> clusters_;
+  PoolRegistry registry_;
+  TaskShape unit_costs_;
+  PlacementPolicy policy_;
+};
+
+}  // namespace pm::cluster

@@ -1,0 +1,63 @@
+// planetmarket: jobs and task shapes.
+//
+// The market allocates *quota* (aggregate resources); the cluster substrate
+// beneath it runs jobs against that quota. A job is a replicated service:
+// `tasks` identical tasks, each demanding a fixed shape of CPU/RAM/disk,
+// mirroring the task model of cluster managers in the paper's ecosystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace pm::cluster {
+
+/// Unique job identifier within a fleet.
+using JobId = std::uint64_t;
+
+/// Per-task resource demand (also used for machine capacities).
+struct TaskShape {
+  double cpu = 0.0;      // cores
+  double ram_gb = 0.0;   // gigabytes
+  double disk_tb = 0.0;  // terabytes
+
+  /// Component lookup by resource kind.
+  double Of(ResourceKind kind) const;
+
+  /// Mutable component lookup.
+  double& Of(ResourceKind kind);
+
+  /// True when every component of `other` fits within this shape.
+  bool Fits(const TaskShape& other) const;
+
+  TaskShape& operator+=(const TaskShape& other);
+  TaskShape& operator-=(const TaskShape& other);
+  friend TaskShape operator+(TaskShape a, const TaskShape& b) {
+    return a += b;
+  }
+  friend TaskShape operator-(TaskShape a, const TaskShape& b) {
+    return a -= b;
+  }
+  friend TaskShape operator*(TaskShape a, double k) {
+    a.cpu *= k;
+    a.ram_gb *= k;
+    a.disk_tb *= k;
+    return a;
+  }
+
+  bool operator==(const TaskShape& other) const = default;
+};
+
+/// A replicated job: `tasks` tasks of identical shape, owned by a team.
+struct Job {
+  JobId id = 0;
+  std::string team;
+  TaskShape shape;
+  int tasks = 0;
+
+  /// Aggregate demand across all tasks.
+  TaskShape TotalDemand() const { return shape * tasks; }
+};
+
+}  // namespace pm::cluster

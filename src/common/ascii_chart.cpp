@@ -1,0 +1,205 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pm {
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    if (!std::isfinite(v)) return;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  bool Valid() const { return lo <= hi; }
+
+  /// Widens degenerate ranges so mapping to columns is well defined.
+  void Inflate() {
+    if (!Valid()) {
+      lo = 0.0;
+      hi = 1.0;
+    } else if (hi - lo < 1e-12) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+};
+
+std::string FormatTick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+int Col(double v, const Range& r, int width) {
+  const double t = (v - r.lo) / (r.hi - r.lo);
+  const int c = static_cast<int>(std::lround(t * (width - 1)));
+  return std::clamp(c, 0, width - 1);
+}
+
+}  // namespace
+
+std::string RenderLineChart(const std::vector<ChartSeries>& series,
+                            const ChartOptions& options) {
+  PM_CHECK(options.width >= 8 && options.height >= 4);
+  Range xr, yr;
+  for (const ChartSeries& s : series) {
+    PM_CHECK_MSG(s.xs.size() == s.ys.size(),
+                 "series '" << s.label << "' has mismatched xs/ys");
+    for (double x : s.xs) xr.Add(x);
+    for (double y : s.ys) yr.Add(y);
+  }
+  xr.Inflate();
+  yr.Inflate();
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (const ChartSeries& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      const int c = Col(s.xs[i], xr, w);
+      const int row = h - 1 - Col(s.ys[i], yr, h);
+      grid[row][c] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  const std::string y_hi = FormatTick(yr.hi);
+  const std::string y_lo = FormatTick(yr.lo);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size()) + 1;
+  for (int row = 0; row < h; ++row) {
+    std::string label;
+    if (row == 0) {
+      label = y_hi;
+    } else if (row == h - 1) {
+      label = y_lo;
+    }
+    os << std::string(margin - label.size(), ' ') << label << '|'
+       << grid[row] << '\n';
+  }
+  os << std::string(margin, ' ') << '+' << std::string(w, '-') << '\n';
+  const std::string x_lo = FormatTick(xr.lo);
+  const std::string x_hi = FormatTick(xr.hi);
+  os << std::string(margin + 1, ' ') << x_lo;
+  const std::size_t used = margin + 1 + x_lo.size();
+  const std::size_t total = margin + 1 + static_cast<std::size_t>(w);
+  if (total > used + x_hi.size()) {
+    os << std::string(total - used - x_hi.size(), ' ');
+  } else {
+    os << ' ';
+  }
+  os << x_hi << '\n';
+  if (!options.x_label.empty()) {
+    os << std::string(margin + 1, ' ') << options.x_label << '\n';
+  }
+  for (const ChartSeries& s : series) {
+    os << std::string(margin + 1, ' ') << s.glyph << " = " << s.label
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string RenderBarChart(const std::vector<Bar>& bars,
+                           const ChartOptions& options, double reference) {
+  PM_CHECK(options.width >= 8);
+  Range vr;
+  vr.Add(0.0);
+  for (const Bar& b : bars) vr.Add(b.value);
+  if (std::isfinite(reference)) vr.Add(reference);
+  vr.Inflate();
+
+  std::size_t label_width = 0;
+  for (const Bar& b : bars) label_width = std::max(label_width,
+                                                   b.label.size());
+
+  const int w = options.width;
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  const int ref_col =
+      std::isfinite(reference) ? Col(reference, vr, w) : -1;
+  for (const Bar& b : bars) {
+    os << b.label << std::string(label_width - b.label.size(), ' ')
+       << " |";
+    const int fill = Col(b.value, vr, w);
+    std::string lane(w, ' ');
+    for (int c = 0; c <= fill; ++c) lane[c] = '#';
+    if (ref_col >= 0 && lane[ref_col] == ' ') lane[ref_col] = ':';
+    os << lane << "| " << FormatTick(b.value) << '\n';
+  }
+  if (ref_col >= 0) {
+    os << std::string(label_width, ' ') << "  "
+       << std::string(ref_col, ' ') << "^ reference = "
+       << FormatTick(reference) << '\n';
+  }
+  return os.str();
+}
+
+std::string RenderBoxplots(const std::vector<BoxplotSpec>& boxes,
+                           const ChartOptions& options) {
+  PM_CHECK(options.width >= 16);
+  Range vr;
+  for (const BoxplotSpec& b : boxes) {
+    vr.Add(b.whisker_lo);
+    vr.Add(b.whisker_hi);
+    for (double o : b.outliers) vr.Add(o);
+  }
+  vr.Inflate();
+
+  std::size_t label_width = 0;
+  for (const BoxplotSpec& b : boxes) {
+    label_width = std::max(label_width, b.label.size());
+  }
+
+  const int w = options.width;
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (const BoxplotSpec& b : boxes) {
+    std::string lane(w, ' ');
+    const int lo = Col(b.whisker_lo, vr, w);
+    const int q1 = Col(b.q1, vr, w);
+    const int med = Col(b.median, vr, w);
+    const int q3 = Col(b.q3, vr, w);
+    const int hi = Col(b.whisker_hi, vr, w);
+    for (int c = lo; c <= hi; ++c) lane[c] = '-';
+    for (int c = q1; c <= q3; ++c) lane[c] = '=';
+    lane[lo] = '|';
+    lane[hi] = '|';
+    lane[med] = 'M';
+    for (double v : b.outliers) {
+      const int c = Col(v, vr, w);
+      if (lane[c] == ' ' || lane[c] == '-') lane[c] = 'o';
+    }
+    os << b.label << std::string(label_width - b.label.size(), ' ')
+       << " [" << lane << "]\n";
+  }
+  os << std::string(label_width, ' ') << "  " << FormatTick(vr.lo);
+  const std::string hi_txt = FormatTick(vr.hi);
+  const std::size_t pad = static_cast<std::size_t>(w) >
+      (FormatTick(vr.lo).size() + hi_txt.size())
+          ? static_cast<std::size_t>(w) - FormatTick(vr.lo).size() -
+                hi_txt.size()
+          : 1;
+  os << std::string(pad, ' ') << hi_txt << '\n';
+  os << std::string(label_width, ' ')
+     << "  |--| whiskers, == IQR, M median, o outliers\n";
+  return os.str();
+}
+
+}  // namespace pm

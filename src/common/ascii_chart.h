@@ -1,0 +1,64 @@
+// planetmarket: terminal chart rendering.
+//
+// The paper's figures are reproduced numerically by the bench binaries; the
+// same binaries (and the examples) additionally render the series as ASCII
+// charts so the *shape* — who is above 1.0×, where the boxplot whiskers sit
+// — is visible directly in the terminal, mirroring Figures 2, 6 and 7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pm {
+
+/// One named series for LineChart.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;  // Same length as xs.
+  char glyph = '*';
+};
+
+/// Options shared by the chart renderers.
+struct ChartOptions {
+  int width = 72;    // Plot-area columns.
+  int height = 20;   // Plot-area rows.
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more x/y series on a shared axis grid (Figure 2 style).
+/// Returns the multi-line string, newline-terminated.
+std::string RenderLineChart(const std::vector<ChartSeries>& series,
+                            const ChartOptions& options);
+
+/// One bar for RenderBarChart.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Renders horizontal bars with labels (Figure 6 style, one bar per
+/// cluster). `reference` draws a vertical marker (e.g. at 1.0 for the
+/// market/fixed price ratio); pass NaN to omit.
+std::string RenderBarChart(const std::vector<Bar>& bars,
+                           const ChartOptions& options,
+                           double reference);
+
+/// Five-number summary plus outliers, as produced by pm::stats::Boxplot.
+struct BoxplotSpec {
+  std::string label;
+  double whisker_lo = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_hi = 0.0;
+  std::vector<double> outliers;
+};
+
+/// Renders horizontal boxplots on a shared scale (Figure 7 style).
+std::string RenderBoxplots(const std::vector<BoxplotSpec>& boxes,
+                           const ChartOptions& options);
+
+}  // namespace pm

@@ -1,0 +1,33 @@
+#include "common/money.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace pm {
+
+Money Money::FromDollarsRounded(double dollars) {
+  PM_CHECK_MSG(std::isfinite(dollars),
+               "cannot convert non-finite amount " << dollars << " to Money");
+  const double micros = dollars * static_cast<double>(kMicrosPerDollar);
+  // Round half away from zero; std::llround has exactly this behaviour.
+  return Money(static_cast<std::int64_t>(std::llround(micros)));
+}
+
+std::string Money::ToString() const {
+  const std::int64_t abs = micros_ < 0 ? -micros_ : micros_;
+  const std::int64_t whole = abs / kMicrosPerDollar;
+  const std::int64_t frac = abs % kMicrosPerDollar;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s$%lld.%06lld", micros_ < 0 ? "-" : "",
+                static_cast<long long>(whole), static_cast<long long>(frac));
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) {
+  return os << m.ToString();
+}
+
+}  // namespace pm

@@ -1,0 +1,88 @@
+// planetmarket: exact money arithmetic for settlement and budgeting.
+//
+// Clock-auction price discovery runs in double precision (prices are
+// signals, §III.A), but once trades settle the ledger must conserve money
+// exactly — a team's budget may not drift by accumulated floating-point
+// error across six auctions. Money stores integer micro-dollars (1e-6 USD),
+// giving exact addition/subtraction and well-defined rounding at the single
+// point where a double price enters the books.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace pm {
+
+/// Fixed-point currency amount in integer micro-dollars.
+class Money {
+ public:
+  /// Zero dollars.
+  constexpr Money() = default;
+
+  /// Constructs from raw micro-dollars.
+  static constexpr Money FromMicros(std::int64_t micros) {
+    return Money(micros);
+  }
+
+  /// Constructs from whole dollars (exact).
+  static constexpr Money FromDollars(std::int64_t dollars) {
+    return Money(dollars * kMicrosPerDollar);
+  }
+
+  /// Converts a double dollar amount, rounding half away from zero. This is
+  /// the single sanctioned double→Money conversion; use it where an auction
+  /// price enters the ledger.
+  static Money FromDollarsRounded(double dollars);
+
+  /// Raw micro-dollars.
+  constexpr std::int64_t micros() const { return micros_; }
+
+  /// Value in dollars as a double (lossy; for display and statistics only).
+  constexpr double ToDouble() const {
+    return static_cast<double>(micros_) / kMicrosPerDollar;
+  }
+
+  /// Renders e.g. "$12.345678", "-$0.500000".
+  std::string ToString() const;
+
+  constexpr bool IsZero() const { return micros_ == 0; }
+  constexpr bool IsNegative() const { return micros_ < 0; }
+
+  friend constexpr Money operator+(Money a, Money b) {
+    return Money(a.micros_ + b.micros_);
+  }
+  friend constexpr Money operator-(Money a, Money b) {
+    return Money(a.micros_ - b.micros_);
+  }
+  friend constexpr Money operator-(Money a) { return Money(-a.micros_); }
+
+  /// Scales by an integer factor (exact).
+  friend constexpr Money operator*(Money a, std::int64_t k) {
+    return Money(a.micros_ * k);
+  }
+  friend constexpr Money operator*(std::int64_t k, Money a) { return a * k; }
+
+  Money& operator+=(Money other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  Money& operator-=(Money other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Money a, Money b) = default;
+
+ private:
+  explicit constexpr Money(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr std::int64_t kMicrosPerDollar = 1'000'000;
+
+  std::int64_t micros_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Money m);
+
+}  // namespace pm

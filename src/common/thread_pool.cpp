@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/check.h"
+
+namespace pm {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PM_CHECK_MSG(!shutting_down_, "Submit after ThreadPool shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting_down_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // Exceptions are captured into the packaged_task's future.
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (pool == nullptr || pool->size() <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Split into one contiguous block per worker (demand evaluation per user
+  // is cheap and uniform enough that static partitioning wins over a
+  // finer-grained dynamic scheme).
+  const std::size_t blocks = std::min(pool->size(), count);
+  const std::size_t base = count / blocks;
+  const std::size_t extra = count % blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  std::size_t lo = begin;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t len = base + (b < extra ? 1 : 0);
+    const std::size_t hi = lo + len;
+    futures.push_back(pool->Submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+    lo = hi;
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pm

@@ -1,0 +1,58 @@
+// planetmarket: a fixed-size thread pool and a blocked parallel_for.
+//
+// The auctioneer's per-round demand collection (Algorithm 1, line 4) is
+// embarrassingly parallel across bidder proxies: each G_u(p) scans user u's
+// bundle set independently. ClockAuction uses ParallelFor to fan that scan
+// out when configured with more than one thread; the same pool backs the
+// distributed-auction proxies in pm::net.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pm {
+
+/// A fixed-size pool of worker threads executing submitted tasks FIFO.
+/// Thread-safe; destruction drains the queue (all submitted work runs).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Waits for all queued work to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; the future resolves when it has run. Exceptions thrown
+  /// by `fn` propagate through the future.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool in contiguous blocks,
+/// blocking until all iterations complete. With a null pool or a pool of
+/// size 1 the loop runs inline on the caller. The first exception thrown by
+/// any iteration is rethrown on the caller after all blocks finish.
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace pm

@@ -1,0 +1,105 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace pm {
+
+std::string_view ToString(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kRam:
+      return "ram";
+    case ResourceKind::kDisk:
+      return "disk";
+  }
+  return "unknown";
+}
+
+std::optional<ResourceKind> ParseResourceKind(std::string_view name) {
+  if (name == "cpu") return ResourceKind::kCpu;
+  if (name == "ram") return ResourceKind::kRam;
+  if (name == "disk") return ResourceKind::kDisk;
+  return std::nullopt;
+}
+
+std::string_view UnitOf(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cores";
+    case ResourceKind::kRam:
+      return "GB";
+    case ResourceKind::kDisk:
+      return "TB";
+  }
+  return "units";
+}
+
+std::string ToString(const PoolKey& key) {
+  std::string out(ToString(key.kind));
+  out += '@';
+  out += key.cluster;
+  return out;
+}
+
+std::size_t PoolRegistry::KeyHash::operator()(
+    const PoolKey& k) const noexcept {
+  std::size_t h = std::hash<std::string>{}(k.cluster);
+  // Boost-style hash combine with the kind.
+  h ^= std::hash<int>{}(static_cast<int>(k.kind)) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
+PoolId PoolRegistry::Intern(const PoolKey& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const PoolId id = static_cast<PoolId>(keys_.size());
+  keys_.push_back(key);
+  index_.emplace(key, id);
+  return id;
+}
+
+std::optional<PoolId> PoolRegistry::Find(const PoolKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const PoolKey& PoolRegistry::KeyOf(PoolId id) const {
+  PM_CHECK_MSG(id < keys_.size(),
+               "PoolId " << id << " out of range " << keys_.size());
+  return keys_[id];
+}
+
+std::vector<PoolId> PoolRegistry::PoolsInCluster(
+    std::string_view cluster) const {
+  std::vector<PoolId> out;
+  for (PoolId id = 0; id < keys_.size(); ++id) {
+    if (keys_[id].cluster == cluster) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<PoolId> PoolRegistry::PoolsOfKind(ResourceKind kind) const {
+  std::vector<PoolId> out;
+  for (PoolId id = 0; id < keys_.size(); ++id) {
+    if (keys_[id].kind == kind) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> PoolRegistry::Clusters() const {
+  std::vector<std::string> out;
+  for (const PoolKey& key : keys_) {
+    if (std::find(out.begin(), out.end(), key.cluster) == out.end()) {
+      out.push_back(key.cluster);
+    }
+  }
+  return out;
+}
+
+}  // namespace pm

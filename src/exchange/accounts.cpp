@@ -1,0 +1,47 @@
+#include "exchange/accounts.h"
+
+#include "common/check.h"
+
+namespace pm::exchange {
+
+MarketAccounts::MarketAccounts(Ledger* ledger) : ledger_(ledger) {
+  PM_CHECK(ledger != nullptr);
+  operator_ = ledger_->CreateAccount("operator-treasury", Money(),
+                                     /*allow_negative=*/true);
+}
+
+AccountId MarketAccounts::EnsureTeam(const std::string& team) {
+  auto it = teams_.find(team);
+  if (it != teams_.end()) return it->second;
+  const AccountId id = ledger_->CreateAccount(team);
+  teams_.emplace(team, id);
+  return id;
+}
+
+Money MarketAccounts::BudgetOf(const std::string& team) const {
+  auto it = teams_.find(team);
+  if (it == teams_.end()) return Money();
+  return ledger_->Balance(it->second);
+}
+
+void MarketAccounts::Endow(const std::string& team, Money amount,
+                           std::string memo) {
+  const AccountId id = EnsureTeam(team);
+  const std::string status =
+      ledger_->Transfer(operator_, id, amount, std::move(memo));
+  PM_CHECK_MSG(status.empty(), "endowment failed: " << status);
+}
+
+std::string MarketAccounts::ChargeTeam(const std::string& team,
+                                       Money amount, std::string memo) {
+  return ledger_->Transfer(EnsureTeam(team), operator_, amount,
+                           std::move(memo));
+}
+
+std::string MarketAccounts::PayTeam(const std::string& team, Money amount,
+                                    std::string memo) {
+  return ledger_->Transfer(operator_, EnsureTeam(team), amount,
+                           std::move(memo));
+}
+
+}  // namespace pm::exchange

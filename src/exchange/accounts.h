@@ -1,0 +1,48 @@
+// planetmarket: market account management on top of the ledger.
+//
+// One treasury account represents the operator (allowed to run negative:
+// it mints the budget endowment and is the counterparty of every trade);
+// each team gets a budget account created on first use.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "exchange/ledger.h"
+
+namespace pm::exchange {
+
+/// Team/operator account registry bound to one ledger.
+class MarketAccounts {
+ public:
+  /// Creates the operator treasury on `ledger` (which must outlive this).
+  explicit MarketAccounts(Ledger* ledger);
+
+  /// The operator's account.
+  AccountId operator_account() const { return operator_; }
+
+  /// Returns the team's account, creating it (with zero balance) on first
+  /// use.
+  AccountId EnsureTeam(const std::string& team);
+
+  /// Current budget of a team (zero if the team has no account yet).
+  Money BudgetOf(const std::string& team) const;
+
+  /// Mints `amount` of new budget dollars to a team (treasury → team).
+  void Endow(const std::string& team, Money amount, std::string memo);
+
+  /// Settlement transfers. Both return the ledger status (empty = ok).
+  std::string ChargeTeam(const std::string& team, Money amount,
+                         std::string memo);
+  std::string PayTeam(const std::string& team, Money amount,
+                      std::string memo);
+
+  const Ledger& ledger() const { return *ledger_; }
+
+ private:
+  Ledger* ledger_;
+  AccountId operator_;
+  std::unordered_map<std::string, AccountId> teams_;
+};
+
+}  // namespace pm::exchange

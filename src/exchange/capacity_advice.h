@@ -1,0 +1,70 @@
+// planetmarket: operator decision support from price signals.
+//
+// §III.A: a persistent price increase "indicates to the system operator
+// that there may be a shortage in the corresponding pool; the operator
+// should address this shortage by increasing the supply of resources
+// appropriately" — and §IV frames reserve prices as "the basis of a
+// decision support framework ... that allows the operator to steer the
+// system". This module turns a market's auction history into concrete
+// capacity recommendations: pools whose clearing prices persistently sit
+// far above the fixed baseline (and whose utilization is high) are
+// expansion candidates; persistently discounted, idle pools are
+// candidates for repurposing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "exchange/report.h"
+
+namespace pm::exchange {
+
+/// What the operator should do with one pool.
+enum class CapacityAction { kExpand, kRepurpose };
+
+std::string_view ToString(CapacityAction action);
+
+/// One recommendation.
+struct CapacityAdvice {
+  PoolId pool = kInvalidPool;
+  CapacityAction action = CapacityAction::kExpand;
+
+  /// Mean settled/fixed price ratio over the analysis window.
+  double mean_price_ratio = 0.0;
+
+  /// Mean pre-auction utilization over the window, in [0, 1].
+  double mean_utilization = 0.0;
+
+  /// Human-readable justification.
+  std::string rationale;
+};
+
+/// Tuning for AdviseCapacity.
+struct AdvicePolicy {
+  /// Auctions considered (most recent `window` reports).
+  int window = 3;
+
+  /// A pool is an expansion candidate when its mean price ratio is at
+  /// least this and its mean utilization at least `hot_utilization`.
+  double hot_ratio = 1.30;
+  double hot_utilization = 0.60;
+
+  /// A pool is a repurposing candidate when its mean price ratio is at
+  /// most this and its mean utilization at most `cold_utilization`.
+  double cold_ratio = 0.75;
+  double cold_utilization = 0.30;
+};
+
+/// Analyzes the trailing reports and returns recommendations, expansion
+/// candidates first, each group sorted by decreasing severity. Returns
+/// nothing when `history` is empty.
+std::vector<CapacityAdvice> AdviseCapacity(
+    const std::vector<AuctionReport>& history,
+    const PoolRegistry& registry, const AdvicePolicy& policy = {});
+
+/// Renders recommendations as a text table for operator reports.
+std::string RenderCapacityAdvice(const std::vector<CapacityAdvice>& advice,
+                                 const PoolRegistry& registry);
+
+}  // namespace pm::exchange

@@ -1,0 +1,42 @@
+#include "exchange/endowment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pm::exchange {
+
+double FootprintValue(const PoolRegistry& registry,
+                      const std::string& home_cluster,
+                      const cluster::TaskShape& footprint,
+                      std::span<const double> prices) {
+  PM_CHECK(prices.size() == registry.size());
+  double value = 0.0;
+  for (ResourceKind kind : kAllResourceKinds) {
+    const auto id = registry.Find(PoolKey{home_cluster, kind});
+    PM_CHECK_MSG(id.has_value(),
+                 "cluster '" << home_cluster << "' missing pool for "
+                             << pm::ToString(kind));
+    value += footprint.Of(kind) * prices[*id];
+  }
+  return value;
+}
+
+std::vector<Money> ComputeEndowments(
+    const PoolRegistry& registry,
+    const std::vector<agents::TeamAgent>& agents,
+    std::span<const double> prices, const EndowmentPolicy& policy) {
+  PM_CHECK_MSG(policy.multiplier > 0.0, "multiplier must be positive");
+  std::vector<Money> out;
+  out.reserve(agents.size());
+  for (const agents::TeamAgent& agent : agents) {
+    const double value =
+        FootprintValue(registry, agent.profile().home_cluster,
+                       agent.profile().footprint, prices);
+    Money endowment = Money::FromDollarsRounded(value * policy.multiplier);
+    out.push_back(std::max(endowment, policy.minimum));
+  }
+  return out;
+}
+
+}  // namespace pm::exchange

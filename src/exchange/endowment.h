@@ -1,0 +1,44 @@
+// planetmarket: initial budget disbursement.
+//
+// §IV.A property 5 ties the weighting function's dynamic range to "the
+// strategy used for disbursement of initial budget dollars among bidders",
+// which the paper does not elaborate. Our policy (documented substitution,
+// DESIGN.md §2): each team is endowed in proportion to the value of its
+// current footprint at the pre-market fixed prices, times a headroom
+// multiplier — every team can afford its status quo plus growth, and big
+// teams get proportionally bigger budgets (as any usage-based chargeback
+// would give them).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "agents/team.h"
+#include "common/money.h"
+#include "common/types.h"
+
+namespace pm::exchange {
+
+/// Endowment policy parameters.
+struct EndowmentPolicy {
+  /// Budget = multiplier × (footprint value at the given prices).
+  double multiplier = 6.0;
+
+  /// Floor so that zero-footprint teams can still participate.
+  Money minimum = Money::FromDollars(100);
+};
+
+/// Value of `footprint` at per-pool `prices`, using the pools of
+/// `home_cluster`.
+double FootprintValue(const PoolRegistry& registry,
+                      const std::string& home_cluster,
+                      const cluster::TaskShape& footprint,
+                      std::span<const double> prices);
+
+/// Computes each agent's endowment under the policy.
+std::vector<Money> ComputeEndowments(
+    const PoolRegistry& registry,
+    const std::vector<agents::TeamAgent>& agents,
+    std::span<const double> prices, const EndowmentPolicy& policy);
+
+}  // namespace pm::exchange

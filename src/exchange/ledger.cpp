@@ -1,0 +1,72 @@
+#include "exchange/ledger.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace pm::exchange {
+
+AccountId Ledger::CreateAccount(std::string name, Money opening,
+                                bool allow_negative) {
+  PM_CHECK_MSG(!name.empty(), "account needs a name");
+  const AccountId id = static_cast<AccountId>(accounts_.size());
+  accounts_.push_back(Account{std::move(name), opening, allow_negative});
+  return id;
+}
+
+const std::string& Ledger::NameOf(AccountId id) const {
+  PM_CHECK_MSG(id < accounts_.size(), "unknown account " << id);
+  return accounts_[id].name;
+}
+
+Money Ledger::Balance(AccountId id) const {
+  PM_CHECK_MSG(id < accounts_.size(), "unknown account " << id);
+  return accounts_[id].balance;
+}
+
+bool Ledger::AllowsNegative(AccountId id) const {
+  PM_CHECK_MSG(id < accounts_.size(), "unknown account " << id);
+  return accounts_[id].allow_negative;
+}
+
+std::string Ledger::Transfer(AccountId from, AccountId to, Money amount,
+                             std::string memo) {
+  PM_CHECK_MSG(from < accounts_.size() && to < accounts_.size(),
+               "transfer between unknown accounts " << from << " and "
+                                                    << to);
+  if (amount.IsNegative()) {
+    return "transfer amount must be non-negative (swap from/to instead)";
+  }
+  if (from == to) {
+    return "cannot transfer an account to itself";
+  }
+  Account& src = accounts_[from];
+  if (!src.allow_negative && src.balance < amount) {
+    std::ostringstream os;
+    os << "insufficient funds in '" << src.name << "': balance "
+       << src.balance.ToString() << " < transfer " << amount.ToString();
+    return os.str();
+  }
+  src.balance -= amount;
+  accounts_[to].balance += amount;
+  journal_.push_back(
+      JournalEntry{from, to, amount, std::move(memo), next_sequence_++});
+  return {};
+}
+
+Money Ledger::TotalBalance() const {
+  Money total;
+  for (const Account& a : accounts_) total += a.balance;
+  return total;
+}
+
+std::string Ledger::RenderAccounts() const {
+  TextTable table({"account", "balance"});
+  for (const Account& a : accounts_) {
+    table.AddRow({a.name, a.balance.ToString()});
+  }
+  return table.Render();
+}
+
+}  // namespace pm::exchange

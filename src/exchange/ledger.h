@@ -1,0 +1,71 @@
+// planetmarket: a double-entry ledger for budget dollars.
+//
+// §V describes accounting/billing as part of the commercialization stack
+// around the market (out of the paper's scope, but required to run one).
+// This is the minimum honest implementation: named accounts, transfers
+// recorded as journal entries, and a conservation invariant — the sum of
+// all balances equals the sum of all opening balances, always.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+
+namespace pm::exchange {
+
+/// Dense account handle.
+using AccountId = std::uint32_t;
+
+/// One executed transfer.
+struct JournalEntry {
+  AccountId from = 0;
+  AccountId to = 0;
+  Money amount;        // Always >= 0; direction is from → to.
+  std::string memo;
+  int sequence = 0;    // Monotonic per-ledger.
+};
+
+/// Append-only set of accounts with transfer journaling.
+class Ledger {
+ public:
+  Ledger() = default;
+
+  /// Creates an account. `allow_negative` permits overdrafts (used by the
+  /// operator treasury, which mints endowments and absorbs sales).
+  AccountId CreateAccount(std::string name, Money opening = Money(),
+                          bool allow_negative = false);
+
+  std::size_t NumAccounts() const { return accounts_.size(); }
+  const std::string& NameOf(AccountId id) const;
+  Money Balance(AccountId id) const;
+  bool AllowsNegative(AccountId id) const;
+
+  /// Moves `amount` (must be >= 0) from → to. Returns the empty string on
+  /// success or a reason ("insufficient funds …") without changing state.
+  std::string Transfer(AccountId from, AccountId to, Money amount,
+                       std::string memo);
+
+  /// All executed transfers, in order.
+  const std::vector<JournalEntry>& Journal() const { return journal_; }
+
+  /// Conservation check value: Σ balances. Transfers never change it.
+  Money TotalBalance() const;
+
+  /// Renders the account table (name, balance) for reports.
+  std::string RenderAccounts() const;
+
+ private:
+  struct Account {
+    std::string name;
+    Money balance;
+    bool allow_negative = false;
+  };
+
+  std::vector<Account> accounts_;
+  std::vector<JournalEntry> journal_;
+  int next_sequence_ = 0;
+};
+
+}  // namespace pm::exchange

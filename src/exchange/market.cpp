@@ -1,0 +1,417 @@
+#include "exchange/market.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "auction/system_check.h"
+#include "common/check.h"
+
+namespace pm::exchange {
+namespace {
+
+/// Splits awarded quota per cluster into buy/sell shapes.
+struct ClusterDelta {
+  cluster::TaskShape bought;
+  cluster::TaskShape sold;
+};
+
+std::unordered_map<std::string, ClusterDelta> SplitByCluster(
+    const PoolRegistry& registry, const bid::Bundle& bundle) {
+  std::unordered_map<std::string, ClusterDelta> deltas;
+  for (const bid::BundleItem& item : bundle.items()) {
+    const PoolKey& key = registry.KeyOf(item.pool);
+    ClusterDelta& delta = deltas[key.cluster];
+    if (item.qty > 0.0) {
+      delta.bought.Of(key.kind) += item.qty;
+    } else {
+      delta.sold.Of(key.kind) += -item.qty;
+    }
+  }
+  return deltas;
+}
+
+bool IsArbitrageBid(const std::string& bid_name) {
+  return bid_name.find("/arb-") != std::string::npos;
+}
+
+}  // namespace
+
+auction::ClockAuctionConfig DefaultMarketAuctionConfig() {
+  auction::ClockAuctionConfig config;
+  config.policy_kind =
+      auction::ClockAuctionConfig::PolicyKind::kMultiplicative;
+  config.alpha = 0.4;
+  config.delta = 0.08;
+  config.step_floor = 1e-3;
+  config.demand_eps = 2e-3;  // Tolerate 0.2 % aggregate oversubscription.
+  config.intra_round_bisection = true;
+  return config;
+}
+
+Market::Market(cluster::Fleet* fleet,
+               std::vector<agents::TeamAgent>* agents,
+               std::vector<double> fixed_prices, MarketConfig config)
+    : fleet_(fleet),
+      agents_(agents),
+      fixed_prices_(std::move(fixed_prices)),
+      config_(std::move(config)),
+      pricer_(config_.weighting != nullptr
+                  ? std::shared_ptr<const reserve::WeightingFunction>(
+                        config_.weighting)
+                  : std::shared_ptr<const reserve::WeightingFunction>(
+                        reserve::MakeExp2Weighting())),
+      ledger_(),
+      accounts_(&ledger_) {
+  PM_CHECK(fleet_ != nullptr && agents_ != nullptr);
+  PM_CHECK_MSG(fixed_prices_.size() == fleet_->NumPools(),
+               "fixed prices must cover every pool");
+  PM_CHECK_MSG(config_.supply_fraction > 0.0 &&
+                   config_.supply_fraction <= 1.0,
+               "supply fraction must be in (0, 1]");
+  // §I quota bootstrap: every team starts entitled to exactly what it
+  // already runs, and its usage is charged accordingly.
+  const PoolRegistry& registry = fleet_->registry();
+  for (const cluster::JobLocation& loc : fleet_->AllJobs()) {
+    const cluster::Job* job =
+        fleet_->ClusterByName(loc.cluster).FindJob(loc.job);
+    PM_CHECK(job != nullptr);
+    const cluster::TaskShape demand = job->TotalDemand();
+    quota_.Charge(job->team, registry, loc.cluster, demand);
+    for (ResourceKind kind : kAllResourceKinds) {
+      const double amount = demand.Of(kind);
+      if (amount <= 0.0) continue;
+      const auto pool = registry.Find(PoolKey{loc.cluster, kind});
+      PM_CHECK(pool.has_value());
+      quota_.Grant(job->team, *pool, amount);
+    }
+  }
+}
+
+std::vector<double> Market::CurrentReservePrices() const {
+  return pricer_.PriceFleet(*fleet_);
+}
+
+Market::CollectedBids Market::CollectBids(
+    const std::vector<double>& reserve,
+    const std::vector<double>& utilization,
+    const std::vector<double>& free_supply) {
+  CollectedBids collected;
+  collected.per_agent.assign(agents_->size(), 0);
+  for (std::size_t a = 0; a < agents_->size(); ++a) {
+    agents::TeamAgent& agent = (*agents_)[a];
+    agents::MarketView view;
+    view.registry = &fleet_->registry();
+    view.reserve_prices = reserve;
+    view.utilization = utilization;
+    view.free_capacity = free_supply;
+    view.budget = accounts_.BudgetOf(agent.profile().name).ToDouble();
+    view.auction_index = AuctionCount();
+    std::vector<bid::Bid> bids = agent.MakeBids(view);
+    collected.per_agent[a] = bids.size();
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+      // Budget discipline at the gate: a buyer's limit may not exceed its
+      // budget (strategies already clamp; enforce anyway).
+      if (bids[i].limit > view.budget) bids[i].limit = view.budget;
+      const std::string problem =
+          bid::ValidateBid(bids[i], fleet_->NumPools());
+      if (!problem.empty()) continue;  // Malformed bids never reach the auction.
+      collected.origin.emplace_back(a, i);
+      collected.bids.push_back(std::move(bids[i]));
+    }
+  }
+  bid::AssignUserIds(collected.bids);
+  return collected;
+}
+
+std::vector<double> Market::ComputePreliminaryPrices(
+    std::vector<bid::Bid> bids) const {
+  bid::AssignUserIds(bids);
+  std::vector<double> supply = fleet_->FreeVector();
+  for (double& s : supply) s *= config_.supply_fraction;
+  auction::ClockAuction auction(std::move(bids), std::move(supply),
+                                CurrentReservePrices());
+  return auction.Run(config_.auction).prices;
+}
+
+AuctionReport Market::RunAuction() {
+  AuctionReport report;
+  report.auction_index = AuctionCount();
+  report.fixed_prices = fixed_prices_;
+  report.pre_utilization = fleet_->UtilizationVector();
+  report.reserve_prices = pricer_.Price(
+      fleet_->registry(), report.pre_utilization, fleet_->CostVector());
+
+  // First auction: endow budgets at the fixed prices.
+  if (!endowed_) {
+    const std::vector<Money> endowments = ComputeEndowments(
+        fleet_->registry(), *agents_, fixed_prices_, config_.endowment);
+    for (std::size_t a = 0; a < agents_->size(); ++a) {
+      accounts_.Endow((*agents_)[a].profile().name, endowments[a],
+                      "initial endowment");
+    }
+    endowed_ = true;
+  }
+
+  std::vector<double> supply = fleet_->FreeVector();
+  for (double& s : supply) s *= config_.supply_fraction;
+
+  CollectedBids collected =
+      CollectBids(report.reserve_prices, report.pre_utilization, supply);
+  report.num_bids = collected.bids.size();
+
+  auction::ClockAuction auction(collected.bids, supply,
+                                report.reserve_prices);
+  const auction::ClockAuctionResult result = auction.Run(config_.auction);
+  report.rounds = result.rounds;
+  report.converged = result.converged;
+  report.demand_evaluations = result.demand_evaluations;
+  report.settled_prices = result.prices;
+
+  if (config_.audit_system && result.converged) {
+    // The audit tolerance must cover the configured aggregate-demand
+    // tolerance, or converged-by-definition results would be flagged.
+    const double tolerance = std::max(1e-6, config_.auction.demand_eps);
+    const auction::SystemCheckResult audit =
+        auction::CheckSystemConstraints(auction, result, tolerance);
+    PM_CHECK_MSG(audit.Feasible(),
+                 "SYSTEM constraints violated: " << audit.ToString());
+  }
+
+  const auction::Settlement settlement = auction::Settle(auction, result);
+  report.num_winners = settlement.awards.size();
+  report.premium = auction::ComputePremiumStats(settlement);
+  report.settled_fraction = settlement.settled_fraction;
+  report.operator_revenue = settlement.operator_revenue;
+
+  // Money: winners pay (or are paid by) the operator treasury.
+  for (const auction::Award& award : settlement.awards) {
+    const bid::Bid& b = collected.bids[award.user];
+    const auto [agent_index, local_index] = collected.origin[award.user];
+    const std::string& team = (*agents_)[agent_index].profile().name;
+    report.awards.push_back(AwardRecord{team, b.name, award.bundle_index,
+                                        award.payment, award.premium});
+    const Money amount = Money::FromDollarsRounded(std::abs(award.payment));
+    std::string status;
+    if (award.payment > 0.0) {
+      status = accounts_.ChargeTeam(team, amount, "auction: " + b.name);
+      if (!status.empty()) {
+        // Overdraft: settle anyway (the quota is already committed) but
+        // surface it — the budget gate failed, e.g. two winning buy bids
+        // from one team.
+        ++report.overdrafts;
+        accounts_.Endow(team, amount - accounts_.BudgetOf(team),
+                        "overdraft cover: " + b.name);
+        status = accounts_.ChargeTeam(team, amount,
+                                      "auction (overdraft): " + b.name);
+        PM_CHECK_MSG(status.empty(), "settlement failed: " << status);
+      }
+    } else if (award.payment < 0.0) {
+      accounts_.PayTeam(team, amount, "auction: " + b.name);
+    }
+  }
+
+  RecordTrades(collected, settlement, report);
+  ApplyPhysicalSettlement(collected, settlement, report);
+  RefreshTeamProfiles();
+
+  // Let every agent observe the uniform clearing prices (losers learn
+  // from the public signal too — §III.A's "clear signaling").
+  std::vector<std::vector<agents::BidOutcome>> outcomes(agents_->size());
+  for (std::size_t a = 0; a < agents_->size(); ++a) {
+    outcomes[a].resize(collected.per_agent[a]);
+  }
+  for (const auction::Award& award : settlement.awards) {
+    const auto [agent_index, local_index] = collected.origin[award.user];
+    if (local_index < outcomes[agent_index].size()) {
+      outcomes[agent_index][local_index] = agents::BidOutcome{
+          true, award.bundle_index, award.payment};
+    }
+  }
+  for (std::size_t a = 0; a < agents_->size(); ++a) {
+    (*agents_)[a].ObserveOutcome(report.settled_prices, outcomes[a]);
+  }
+
+  report.post_utilization = fleet_->UtilizationVector();
+  history_.push_back(report);
+  return history_.back();
+}
+
+void Market::RecordTrades(const CollectedBids& collected,
+                          const auction::Settlement& settlement,
+                          AuctionReport& report) const {
+  // Pre-compute each cluster's pre-auction utilization percentile per
+  // kind (Figure 7's y-axis).
+  const PoolRegistry& registry = fleet_->registry();
+  for (const auction::Award& award : settlement.awards) {
+    const bid::Bid& b = collected.bids[award.user];
+    const auto [agent_index, local_index] = collected.origin[award.user];
+    const std::string& team = (*agents_)[agent_index].profile().name;
+    const bid::Bundle& bundle =
+        b.bundles[static_cast<std::size_t>(award.bundle_index)];
+    for (const bid::BundleItem& item : bundle.items()) {
+      const PoolKey& key = registry.KeyOf(item.pool);
+      TradeSample sample;
+      sample.kind = key.kind;
+      sample.is_bid = item.qty > 0.0;
+      sample.qty = std::abs(item.qty);
+      sample.team = team;
+      sample.util_percentile =
+          fleet_->UtilizationPercentile(key.cluster, key.kind);
+      report.trades.push_back(std::move(sample));
+    }
+  }
+}
+
+void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
+                                     const auction::Settlement& settlement,
+                                     AuctionReport& report) {
+  const PoolRegistry& registry = fleet_->registry();
+  for (const auction::Award& award : settlement.awards) {
+    const bid::Bid& b = collected.bids[award.user];
+    const auto [agent_index, local_index] = collected.origin[award.user];
+    agents::TeamAgent& agent = (*agents_)[agent_index];
+    const std::string& team = agent.profile().name;
+    const bid::Bundle& bundle =
+        b.bundles[static_cast<std::size_t>(award.bundle_index)];
+
+    // Quota first: the settled trade changes the team's entitlements
+    // regardless of how (or whether) the physical placement lands.
+    for (const bid::BundleItem& item : bundle.items()) {
+      if (item.qty > 0.0) {
+        quota_.Grant(team, item.pool, item.qty);
+      } else {
+        quota_.Release(team, item.pool, -item.qty);
+      }
+    }
+
+    if (IsArbitrageBid(b.name)) {
+      // Arbitrage trades move quota, not jobs: adjust the warehouse.
+      std::vector<double>& holdings = agent.mutable_holdings();
+      holdings.resize(registry.size(), 0.0);
+      for (const bid::BundleItem& item : bundle.items()) {
+        holdings[item.pool] =
+            std::max(0.0, holdings[item.pool] + item.qty);
+      }
+      continue;
+    }
+
+    const auto deltas = SplitByCluster(registry, bundle);
+    std::string sold_from;
+    std::string bought_in;
+
+    // Releases first: free the capacity before anyone re-buys it.
+    for (const auto& [cluster_name, delta] : deltas) {
+      if (delta.sold.cpu <= 0.0 && delta.sold.ram_gb <= 0.0 &&
+          delta.sold.disk_tb <= 0.0) {
+        continue;
+      }
+      sold_from = cluster_name;
+      // Remove this team's jobs in the cluster, largest first, until the
+      // sold quantities are covered (whole-job granularity; slight
+      // over-release returns to the operator's free pool).
+      cluster::Cluster& cl = fleet_->ClusterByName(cluster_name);
+      std::vector<std::pair<double, cluster::JobId>> candidates;
+      for (cluster::JobId id : cl.JobIds()) {
+        const cluster::Job* job = cl.FindJob(id);
+        if (job != nullptr && job->team == team) {
+          candidates.emplace_back(job->TotalDemand().cpu, id);
+        }
+      }
+      std::sort(candidates.rbegin(), candidates.rend());
+      cluster::TaskShape freed;
+      for (const auto& [cpu, id] : candidates) {
+        if (freed.cpu >= delta.sold.cpu &&
+            freed.ram_gb >= delta.sold.ram_gb &&
+            freed.disk_tb >= delta.sold.disk_tb) {
+          break;
+        }
+        const std::optional<cluster::Job> removed = cl.RemoveJob(id);
+        PM_CHECK(removed.has_value());
+        quota_.Refund(team, registry, cluster_name,
+                      removed->TotalDemand());
+        freed += removed->TotalDemand();
+        ++report.jobs_removed;
+      }
+    }
+
+    for (const auto& [cluster_name, delta] : deltas) {
+      if (delta.bought.cpu <= 0.0 && delta.bought.ram_gb <= 0.0 &&
+          delta.bought.disk_tb <= 0.0) {
+        continue;
+      }
+      bought_in = cluster_name;
+      // Materialize the bought quota as a job split into machine-sized
+      // tasks.
+      int tasks = 1;
+      for (ResourceKind kind : kAllResourceKinds) {
+        const double cap = config_.max_task_shape.Of(kind);
+        if (cap > 0.0 && delta.bought.Of(kind) > 0.0) {
+          tasks = std::max(
+              tasks, static_cast<int>(
+                         std::ceil(delta.bought.Of(kind) / cap)));
+        }
+      }
+      cluster::Job job;
+      job.id = next_job_id_++;
+      job.team = team;
+      job.tasks = tasks;
+      job.shape = delta.bought * (1.0 / static_cast<double>(tasks));
+      bool placed = fleet_->AddJob(cluster_name, job);
+      if (!placed) {
+        // Fragmentation: retry with tasks twice as fine.
+        job.tasks *= 2;
+        job.shape = delta.bought * (1.0 / job.tasks);
+        job.id = next_job_id_++;
+        placed = fleet_->AddJob(cluster_name, job);
+      }
+      if (placed) {
+        quota_.Charge(team, registry, cluster_name, delta.bought);
+        ++report.jobs_added;
+      } else {
+        ++report.placement_failures;
+      }
+    }
+
+    if (!sold_from.empty() || !bought_in.empty()) {
+      MoveRecord move;
+      move.team = team;
+      move.from_cluster = sold_from;
+      move.to_cluster = bought_in;
+      for (const auto& [cluster_name, delta] : deltas) {
+        move.amount += delta.bought;
+      }
+      report.moves.push_back(std::move(move));
+    }
+  }
+}
+
+void Market::RefreshTeamProfiles() {
+  // Recompute footprints from the fleet and re-home teams to their
+  // center of mass.
+  std::unordered_map<std::string, cluster::TaskShape> footprints;
+  std::unordered_map<std::string, std::unordered_map<std::string, double>>
+      cpu_by_cluster;
+  for (const cluster::JobLocation& loc : fleet_->AllJobs()) {
+    const cluster::Job* job =
+        fleet_->ClusterByName(loc.cluster).FindJob(loc.job);
+    PM_CHECK(job != nullptr);
+    footprints[job->team] += job->TotalDemand();
+    cpu_by_cluster[job->team][loc.cluster] += job->TotalDemand().cpu;
+  }
+  for (agents::TeamAgent& agent : *agents_) {
+    agents::TeamProfile& profile = agent.mutable_profile();
+    auto it = footprints.find(profile.name);
+    if (it == footprints.end()) continue;  // Keep the seed footprint.
+    profile.footprint = it->second;
+    const auto& clusters = cpu_by_cluster[profile.name];
+    double best_cpu = 0.0;
+    for (const auto& [cluster_name, cpu] : clusters) {
+      if (cpu > best_cpu) {
+        best_cpu = cpu;
+        profile.home_cluster = cluster_name;
+      }
+    }
+  }
+}
+
+}  // namespace pm::exchange

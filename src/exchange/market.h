@@ -1,0 +1,146 @@
+// planetmarket: the trading platform (§V.A).
+//
+// Market glues every substrate together into the paper's experimental
+// resource economy:
+//
+//   utilization ψ ──► congestion-weighted reserves p̃ = φ(ψ)·c   (§IV)
+//   team agents  ──► bids {Q_u, π_u}                             (§II)
+//   free capacity ─► operator supply s
+//   clock auction ─► uniform prices + allocations                (§III)
+//   settlement   ──► ledger transfers, job migrations, reports   (§V)
+//
+// RunAuction() executes one full round; run it periodically (directly or
+// from a sim::PeriodicProcess) to reproduce the §V.B longitudinal
+// experiments. ComputePreliminaryPrices() is the non-binding price tick
+// displayed during the bid-collection window (Figure 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/team.h"
+#include "auction/clock_auction.h"
+#include "cluster/fleet.h"
+#include "cluster/quota.h"
+#include "exchange/accounts.h"
+#include "exchange/endowment.h"
+#include "exchange/report.h"
+#include "reserve/reserve_pricer.h"
+
+namespace pm::exchange {
+
+/// Clock-auction defaults tuned for whole-market rounds: a multiplicative
+/// (geometric) clock so high-priced pools move in proportion, a small
+/// aggregate-demand tolerance so the final sub-percent excess over large
+/// pools does not crawl for hundreds of rounds, and intra-round bisection
+/// to land near the clearing price despite the geometric steps.
+auction::ClockAuctionConfig DefaultMarketAuctionConfig();
+
+/// Market configuration.
+struct MarketConfig {
+  /// Clock-auction tuning for each round.
+  auction::ClockAuctionConfig auction = DefaultMarketAuctionConfig();
+
+  /// Congestion weighting for reserve prices (defaults to φ1 = exp2, the
+  /// steepest of the paper's example curves).
+  std::shared_ptr<const reserve::WeightingFunction> weighting;
+
+  /// Budget endowment policy, applied before the first auction.
+  EndowmentPolicy endowment;
+
+  /// Fraction of current free capacity the operator offers for sale each
+  /// round.
+  double supply_fraction = 1.0;
+
+  /// Audit every converged auction against the SYSTEM constraints
+  /// (§III.B) and fail loudly on violation.
+  bool audit_system = true;
+
+  /// Per-task caps used when materializing won quota into jobs (tasks are
+  /// split so they fit real machines).
+  cluster::TaskShape max_task_shape{8.0, 32.0, 4.0};
+};
+
+/// The periodic market over one fleet and one team population.
+class Market {
+ public:
+  /// `fleet` and `agents` must outlive the market. `fixed_prices` are the
+  /// pre-market per-pool prices (Figure 6's baseline).
+  Market(cluster::Fleet* fleet, std::vector<agents::TeamAgent>* agents,
+         std::vector<double> fixed_prices, MarketConfig config);
+
+  /// Runs one binding auction round end-to-end and returns its report
+  /// (also appended to History()).
+  AuctionReport RunAuction();
+
+  /// Non-binding price simulation on an explicit bid set: what the
+  /// front end shows while the bid window is open. User ids are assigned;
+  /// no money moves, no jobs move, agents learn nothing.
+  std::vector<double> ComputePreliminaryPrices(
+      std::vector<bid::Bid> bids) const;
+
+  /// Current congestion-weighted reserve prices (recomputed from live
+  /// fleet state).
+  std::vector<double> CurrentReservePrices() const;
+
+  const std::vector<AuctionReport>& History() const { return history_; }
+
+  Money TeamBudget(const std::string& team) const {
+    return accounts_.BudgetOf(team);
+  }
+
+  const Ledger& ledger() const { return ledger_; }
+  const cluster::Fleet& fleet() const { return *fleet_; }
+  const std::vector<double>& fixed_prices() const { return fixed_prices_; }
+
+  /// The §I quota registry: entitlements granted/released by settled
+  /// trades, usage charged/refunded as jobs come and go. Teams start
+  /// entitled to exactly what they already run. Mutable access lets
+  /// admission-control layers (e.g. ChurnProcess) share the table.
+  const cluster::QuotaTable& quota() const { return quota_; }
+  cluster::QuotaTable& mutable_quota() { return quota_; }
+
+  /// Number of auctions run so far.
+  int AuctionCount() const { return static_cast<int>(history_.size()); }
+
+ private:
+  struct CollectedBids {
+    std::vector<bid::Bid> bids;
+    /// For bid i: which agent produced it and its index within that
+    /// agent's batch.
+    std::vector<std::pair<std::size_t, std::size_t>> origin;
+    /// Per-agent count of bids (for outcome fan-back).
+    std::vector<std::size_t> per_agent;
+  };
+
+  CollectedBids CollectBids(const std::vector<double>& reserve,
+                            const std::vector<double>& utilization,
+                            const std::vector<double>& free_supply);
+
+  void ApplyPhysicalSettlement(const CollectedBids& collected,
+                               const auction::Settlement& settlement,
+                               AuctionReport& report);
+
+  void RecordTrades(const CollectedBids& collected,
+                    const auction::Settlement& settlement,
+                    AuctionReport& report) const;
+
+  /// Recomputes every agent's footprint from the fleet and re-homes teams
+  /// whose center of mass moved.
+  void RefreshTeamProfiles();
+
+  cluster::Fleet* fleet_;
+  std::vector<agents::TeamAgent>* agents_;
+  std::vector<double> fixed_prices_;
+  MarketConfig config_;
+  reserve::ReservePricer pricer_;
+  Ledger ledger_;
+  MarketAccounts accounts_;
+  cluster::QuotaTable quota_;
+  std::vector<AuctionReport> history_;
+  bool endowed_ = false;
+  cluster::JobId next_job_id_ = 1'000'000;  // Jobs created by the market.
+};
+
+}  // namespace pm::exchange

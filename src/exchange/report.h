@@ -1,0 +1,99 @@
+// planetmarket: per-auction reports.
+//
+// Everything the paper's evaluation section reads off an auction is
+// collected here: Figure 6's market/fixed price ratios, Figure 7's
+// utilization-percentile trade samples, Table I's premium statistics, plus
+// the physical consequences (migrations) for the longitudinal runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "auction/settlement.h"
+#include "cluster/job.h"
+#include "common/types.h"
+#include "stats/descriptive.h"
+
+namespace pm::exchange {
+
+/// One settled bundle item, annotated for Figure 7: the pre-auction
+/// utilization percentile of the cluster the traded resource lives in.
+struct TradeSample {
+  ResourceKind kind = ResourceKind::kCpu;
+  bool is_bid = true;           // true: bought (qty > 0); false: offered.
+  double util_percentile = 0.0; // Cluster's pre-auction rank, 0–100.
+  double qty = 0.0;             // Absolute units traded.
+  std::string team;
+};
+
+/// One settled award, for billing detail and premium analysis.
+struct AwardRecord {
+  std::string team;
+  std::string bid_name;   // "<team>/<tag>" as submitted.
+  int bundle_index = -1;
+  double payment = 0.0;   // Positive pays, negative receives.
+  double premium = 0.0;   // γ_u of Eq. (5); NaN for zero payments.
+};
+
+/// A physical migration executed after settlement.
+struct MoveRecord {
+  std::string team;
+  std::string from_cluster;  // Empty for pure growth.
+  std::string to_cluster;    // Empty for pure shrink.
+  cluster::TaskShape amount;
+};
+
+/// Everything recorded about one auction round.
+struct AuctionReport {
+  int auction_index = 0;
+
+  // Inputs.
+  std::vector<double> fixed_prices;     // Pre-market fixed prices.
+  std::vector<double> reserve_prices;   // p̃ used this round.
+  std::vector<double> pre_utilization;  // ψ per pool before the round.
+
+  // Auction mechanics.
+  std::size_t num_bids = 0;
+  std::size_t num_winners = 0;
+  int rounds = 0;
+  bool converged = false;
+  long long demand_evaluations = 0;
+
+  // Outcome.
+  std::vector<double> settled_prices;
+  auction::PremiumStats premium;     // Table I: median/mean of γ.
+  double settled_fraction = 0.0;     // Table I: % settled.
+  double operator_revenue = 0.0;
+  std::vector<TradeSample> trades;   // Figure 7 samples.
+  std::vector<AwardRecord> awards;   // Per-winner billing detail.
+
+  // Physical application.
+  std::vector<MoveRecord> moves;
+  std::size_t jobs_added = 0;
+  std::size_t jobs_removed = 0;
+  std::size_t placement_failures = 0;  // Quota won but bin-packing failed.
+  std::size_t overdrafts = 0;          // Budget violations at settlement.
+
+  // Fleet health after the round.
+  std::vector<double> post_utilization;
+};
+
+/// Figure 6's series: settled/fixed price ratio per pool (NaN where the
+/// fixed price is zero).
+std::vector<double> PriceRatios(const AuctionReport& report);
+
+/// Figure 7's samples for one (kind, side) cell.
+std::vector<double> TradePercentiles(const AuctionReport& report,
+                                     ResourceKind kind, bool is_bid);
+
+/// Boxplot summary of one Figure 7 cell; n == 0 when there were no such
+/// trades.
+stats::BoxplotSummary TradeBoxplot(const AuctionReport& report,
+                                   ResourceKind kind, bool is_bid);
+
+/// Cross-cluster utilization dispersion (mean absolute deviation of the
+/// per-pool utilization, as percentage points) — the shortage/surplus
+/// metric tracked by the reserve ablation and the timeline bench.
+double UtilizationSpread(const std::vector<double>& utilization);
+
+}  // namespace pm::exchange

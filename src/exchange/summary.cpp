@@ -1,0 +1,94 @@
+#include "exchange/summary.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace pm::exchange {
+
+std::string RenderMarketSummary(const Market& market) {
+  const cluster::Fleet& fleet = market.fleet();
+  const PoolRegistry& registry = fleet.registry();
+  const bool has_history = !market.History().empty();
+  const AuctionReport* last =
+      has_history ? &market.History().back() : nullptr;
+
+  // Price source: last settled prices, else current reserves.
+  const std::vector<double> prices =
+      has_history ? last->settled_prices : market.CurrentReservePrices();
+  const std::vector<double> util = fleet.UtilizationVector();
+
+  // Count settled buys/sells per cluster from the last round's executed
+  // moves (the paper's summary lists "active bids and offers in each").
+  std::unordered_map<std::string, int> bids_in, offers_in;
+  if (last != nullptr) {
+    for (const MoveRecord& m : last->moves) {
+      if (!m.to_cluster.empty()) ++bids_in[m.to_cluster];
+      if (!m.from_cluster.empty()) ++offers_in[m.from_cluster];
+    }
+  }
+
+  TextTable table({"cluster", "util cpu", "util ram", "util disk",
+                   "bids", "offers", "$/core", "$/GB", "$/TB"});
+  for (const std::string& cluster_name : fleet.ClusterNames()) {
+    std::vector<std::string> row;
+    row.push_back(cluster_name);
+    const cluster::Cluster& cl = fleet.ClusterByName(cluster_name);
+    for (ResourceKind kind : kAllResourceKinds) {
+      row.push_back(FormatPct(cl.Utilization(kind), 1));
+    }
+    row.push_back(std::to_string(bids_in[cluster_name]));
+    row.push_back(std::to_string(offers_in[cluster_name]));
+    for (ResourceKind kind : kAllResourceKinds) {
+      const auto id = registry.Find(PoolKey{cluster_name, kind});
+      row.push_back(id.has_value() ? FormatF(prices[*id], 3) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::ostringstream os;
+  os << "=== MARKET SUMMARY ===\n";
+  if (last != nullptr) {
+    os << "after auction #" << (last->auction_index + 1) << "  ("
+       << last->num_bids << " bids, " << last->num_winners
+       << " settled, " << FormatPct(last->settled_fraction, 1)
+       << " settle rate)\n";
+  } else {
+    os << "pre-market state (prices shown are reserve prices)\n";
+  }
+  os << table.Render();
+  return os.str();
+}
+
+std::string RenderBidPreview(const Market& market,
+                             const std::string& cluster,
+                             const cluster::TaskShape& requirements) {
+  const PoolRegistry& registry = market.fleet().registry();
+  const bool has_history = !market.History().empty();
+  const std::vector<double> prices =
+      has_history ? market.History().back().settled_prices
+                  : market.CurrentReservePrices();
+
+  TextTable table({"component", "amount", "unit", "market $/unit",
+                   "covering cost"});
+  double total = 0.0;
+  for (ResourceKind kind : kAllResourceKinds) {
+    const double qty = requirements.Of(kind);
+    if (qty <= 0.0) continue;
+    const auto id = registry.Find(PoolKey{cluster, kind});
+    if (!id.has_value()) continue;
+    const double cost = qty * prices[*id];
+    total += cost;
+    table.AddRow({std::string(pm::ToString(kind)), FormatF(qty, 1),
+                  std::string(UnitOf(kind)), FormatF(prices[*id], 3),
+                  FormatF(cost, 2)});
+  }
+  std::ostringstream os;
+  os << "=== BID ENTRY (step 2 of 2) — cluster " << cluster << " ===\n"
+     << table.Render() << "covering amount at current market prices: $"
+     << FormatF(total, 2)
+     << "\nenter a maximum bid price at or above this to be competitive\n";
+  return os.str();
+}
+
+}  // namespace pm::exchange

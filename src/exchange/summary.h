@@ -1,0 +1,28 @@
+// planetmarket: the "market summary" page (Figure 3).
+//
+// The paper's trading front end greets users with a market summary listing
+// the participating clusters, the number of active bids and offers in
+// each, and the current market prices from the clock auction. This module
+// renders that page as text from a market's latest report.
+#pragma once
+
+#include <string>
+
+#include "exchange/market.h"
+
+namespace pm::exchange {
+
+/// Renders the market-summary table for the latest auction (or the
+/// pre-market state when none has run): one row per cluster with current
+/// utilization, bid/offer counts from the last round, and current market
+/// prices per resource kind.
+std::string RenderMarketSummary(const Market& market);
+
+/// Renders the bid-entry confirmation the front end shows in step two of
+/// bid entry (Figure 4): the covering amounts of CPU/RAM/disk and the
+/// current market prices for those components, for a prospective bundle.
+std::string RenderBidPreview(const Market& market,
+                             const std::string& cluster,
+                             const cluster::TaskShape& requirements);
+
+}  // namespace pm::exchange

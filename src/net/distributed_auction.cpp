@@ -1,0 +1,231 @@
+#include "net/distributed_auction.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "auction/proxy.h"
+#include "common/check.h"
+#include "net/channel.h"
+#include "net/wire.h"
+
+namespace pm::net {
+namespace {
+
+using Frame = std::vector<std::uint8_t>;
+
+/// One proxy node: hosts a shard of users, answers price announcements.
+class ProxyNode {
+ public:
+  ProxyNode(std::uint32_t node_id, const std::vector<bid::Bid>* bids,
+            std::vector<std::uint32_t> users, Channel<Frame>* to_auctioneer)
+      : node_id_(node_id),
+        bids_(bids),
+        users_(std::move(users)),
+        to_auctioneer_(to_auctioneer) {
+    proxies_.reserve(users_.size());
+    for (std::uint32_t u : users_) {
+      proxies_.emplace_back(&(*bids_)[u]);
+    }
+  }
+
+  Channel<Frame>& inbox() { return inbox_; }
+
+  std::atomic<long long>& decode_failures() { return decode_failures_; }
+
+  void Run() {
+    for (;;) {
+      std::optional<Frame> frame = inbox_.Pop();
+      if (!frame.has_value()) return;  // Channel closed.
+      const auto type = PeekType(*frame);
+      if (!type.has_value()) {
+        ++decode_failures_;
+        continue;
+      }
+      if (*type == MessageType::kTerminate) return;
+      if (*type != MessageType::kPriceAnnounce) {
+        ++decode_failures_;
+        continue;
+      }
+      const auto announce = DecodePriceAnnounce(std::move(*frame));
+      if (!announce.has_value()) {
+        ++decode_failures_;
+        continue;
+      }
+      DemandReply reply;
+      reply.round = announce->round;
+      reply.node = node_id_;
+      reply.decisions.reserve(users_.size());
+      for (std::size_t i = 0; i < users_.size(); ++i) {
+        const auction::ProxyDecision d =
+            proxies_[i].Evaluate(announce->prices);
+        reply.decisions.push_back(
+            WireDecision{users_[i], d.bundle_index, d.cost});
+      }
+      to_auctioneer_->Push(Encode(reply));
+    }
+  }
+
+ private:
+  std::uint32_t node_id_;
+  const std::vector<bid::Bid>* bids_;
+  std::vector<std::uint32_t> users_;
+  std::vector<auction::BidderProxy> proxies_;
+  Channel<Frame> inbox_;
+  Channel<Frame>* to_auctioneer_;
+  std::atomic<long long> decode_failures_{0};
+};
+
+std::unique_ptr<auction::IncrementPolicy> BuildPolicy(
+    const auction::ClockAuctionConfig& config, std::size_t num_pools) {
+  using Kind = auction::ClockAuctionConfig::PolicyKind;
+  switch (config.policy_kind) {
+    case Kind::kAdditive:
+      return auction::MakeAdditivePolicy(config.alpha);
+    case Kind::kCapped:
+      return auction::MakeCappedPolicy(config.alpha, config.delta);
+    case Kind::kRelativeCapped:
+      return auction::MakeRelativeCappedPolicy(config.alpha, config.delta,
+                                               config.step_floor);
+    case Kind::kCostNormalized:
+      PM_CHECK_MSG(config.base_costs.size() == num_pools,
+                   "base_costs must have one entry per pool");
+      return auction::MakeCostNormalizedPolicy(config.alpha, config.delta,
+                                               config.base_costs);
+    case Kind::kMultiplicative:
+      return auction::MakeMultiplicativePolicy(config.alpha, config.delta,
+                                               config.step_floor);
+  }
+  PM_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace
+
+DistributedResult RunDistributedAuction(
+    const auction::ClockAuction& auction, const DistributedConfig& config) {
+  PM_CHECK_MSG(config.num_proxy_nodes >= 1, "need at least one proxy node");
+  PM_CHECK_MSG(!config.auction.intra_round_bisection,
+               "intra-round bisection is serial-only (see header)");
+
+  const std::vector<bid::Bid>& bids = auction.bids();
+  const std::size_t num_pools = auction.NumPools();
+  const std::size_t num_nodes =
+      std::max<std::size_t>(1, std::min(config.num_proxy_nodes,
+                                        std::max<std::size_t>(1,
+                                                              bids.size())));
+
+  DistributedResult out;
+  Channel<Frame> to_auctioneer;
+
+  // Shard users round-robin across proxy nodes.
+  std::vector<std::vector<std::uint32_t>> shards(num_nodes);
+  for (std::size_t u = 0; u < bids.size(); ++u) {
+    shards[u % num_nodes].push_back(static_cast<std::uint32_t>(u));
+  }
+  std::vector<std::unique_ptr<ProxyNode>> nodes;
+  nodes.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    nodes.push_back(std::make_unique<ProxyNode>(
+        static_cast<std::uint32_t>(n), &bids, std::move(shards[n]),
+        &to_auctioneer));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_nodes);
+  for (auto& node : nodes) {
+    threads.emplace_back([&node] { node->Run(); });
+  }
+
+  auto broadcast = [&](const Frame& frame) {
+    for (auto& node : nodes) {
+      node->inbox().Push(frame);
+      ++out.transport.messages_sent;
+      out.transport.bytes_sent += static_cast<long long>(frame.size());
+    }
+  };
+
+  const std::unique_ptr<auction::IncrementPolicy> policy =
+      BuildPolicy(config.auction, num_pools);
+
+  auction::ClockAuctionResult& result = out.result;
+  result.prices = auction.reserve_prices();
+  result.decisions.assign(bids.size(), auction::ProxyDecision{});
+  result.excess.assign(num_pools, 0.0);
+  std::vector<double> normalized(num_pools, 0.0);
+  std::vector<double> step(num_pools, 0.0);
+
+  for (int round = 0; round < config.auction.max_rounds; ++round) {
+    broadcast(Encode(PriceAnnounce{round, result.prices}));
+
+    // Collect one reply per node (FIFO channels; replies for this round
+    // only, enforced by the round tag).
+    std::size_t replies = 0;
+    while (replies < num_nodes) {
+      std::optional<Frame> frame = to_auctioneer.Pop();
+      PM_CHECK_MSG(frame.has_value(),
+                   "auctioneer channel closed mid-round");
+      ++out.transport.messages_sent;
+      out.transport.bytes_sent += static_cast<long long>(frame->size());
+      const auto reply = DecodeDemandReply(std::move(*frame));
+      if (!reply.has_value()) {
+        ++out.transport.decode_failures;
+        continue;
+      }
+      PM_CHECK_MSG(reply->round == round,
+                   "reply for round " << reply->round << " during round "
+                                      << round);
+      for (const WireDecision& d : reply->decisions) {
+        result.decisions[d.user] =
+            auction::ProxyDecision{d.bundle_index, d.cost};
+      }
+      ++replies;
+    }
+    // Accumulate excess demand in user order — replies arrive in
+    // nondeterministic order, and floating-point addition order must
+    // match the serial engine for bit-exact equivalence.
+    std::fill(result.excess.begin(), result.excess.end(), 0.0);
+    for (std::size_t u = 0; u < bids.size(); ++u) {
+      const auction::ProxyDecision& d = result.decisions[u];
+      if (!d.Active()) continue;
+      bid::AccumulateInto(
+          bids[u].bundles[static_cast<std::size_t>(d.bundle_index)],
+          result.excess);
+    }
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      result.excess[r] -= auction.supply()[r];
+      normalized[r] = config.auction.normalize_excess
+                          ? result.excess[r] /
+                                std::max(auction.supply()[r], 1.0)
+                          : result.excess[r];
+    }
+    result.rounds = round + 1;
+    result.demand_evaluations += static_cast<long long>(bids.size());
+
+    const bool cleared =
+        std::all_of(normalized.begin(), normalized.end(),
+                    [&](double z) { return z <= config.auction.demand_eps; });
+    if (cleared) {
+      result.converged = true;
+      break;
+    }
+    policy->ComputeStep(normalized, result.prices, step);
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      if (normalized[r] > config.auction.demand_eps && step[r] <= 0.0) {
+        step[r] = config.auction.step_floor;
+      }
+      result.prices[r] += step[r];
+    }
+  }
+
+  broadcast(Encode(Terminate{result.converged}));
+  for (auto& node : nodes) node->inbox().Close();
+  for (std::thread& t : threads) t.join();
+  to_auctioneer.Close();
+  for (auto& node : nodes) {
+    out.transport.decode_failures += node->decode_failures().load();
+  }
+  return out;
+}
+
+}  // namespace pm::net

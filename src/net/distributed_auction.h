@@ -1,0 +1,53 @@
+// planetmarket: the distributed clock auction (Figures 1 and 5).
+//
+// Runs Algorithm 1 with the auctioneer and bidder proxies as separate
+// threads exchanging *serialized* protocol frames over channels: each
+// round the auctioneer broadcasts PriceAnnounce, every proxy node decodes
+// it, evaluates G_u for the users it hosts, and replies with an encoded
+// DemandReply; the auctioneer aggregates excess demand and either
+// terminates or raises the clocks.
+//
+// With the same increment policy the distributed engine produces
+// bit-identical prices and allocations to ClockAuction::Run (asserted by
+// the integration tests): distribution changes where the work runs, not
+// the mechanism. Intra-round bisection is intentionally unsupported here —
+// its demand probes are a serial-search refinement that does not map onto
+// the broadcast protocol.
+#pragma once
+
+#include <cstddef>
+
+#include "auction/clock_auction.h"
+
+namespace pm::net {
+
+/// Configuration for the distributed run.
+struct DistributedConfig {
+  /// Proxy processes; users are sharded round-robin across them.
+  std::size_t num_proxy_nodes = 4;
+
+  /// Clock parameters (thread_pool, intra_round_bisection and
+  /// record_trajectory are ignored).
+  auction::ClockAuctionConfig auction;
+};
+
+/// Transport statistics from one distributed run.
+struct TransportStats {
+  long long messages_sent = 0;
+  long long bytes_sent = 0;
+  long long decode_failures = 0;  // Always 0 unless frames were corrupted.
+};
+
+/// Result of the distributed auction: the standard result plus transport
+/// counters.
+struct DistributedResult {
+  auction::ClockAuctionResult result;
+  TransportStats transport;
+};
+
+/// Runs the auction distributed. The auction object provides bids, supply
+/// and reserve prices exactly as for the serial engine.
+DistributedResult RunDistributedAuction(const auction::ClockAuction& auction,
+                                        const DistributedConfig& config);
+
+}  // namespace pm::net

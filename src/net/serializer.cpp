@@ -1,0 +1,143 @@
+#include "net/serializer.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace pm::net {
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void Serializer::WriteU8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Serializer::WriteU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Serializer::WriteU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Serializer::WriteI32(std::int32_t v) {
+  WriteU32(static_cast<std::uint32_t>(v));
+}
+
+void Serializer::WriteI64(std::int64_t v) {
+  WriteU64(static_cast<std::uint64_t>(v));
+}
+
+void Serializer::WriteDouble(double v) {
+  WriteU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Serializer::WriteString(const std::string& s) {
+  WriteU32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Serializer::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) WriteDouble(x);
+}
+
+std::vector<std::uint8_t> Serializer::FinishWithChecksum() && {
+  const std::uint64_t checksum = Fnv1a(buffer_.data(), buffer_.size());
+  WriteU64(checksum);
+  return std::move(buffer_);
+}
+
+Deserializer::Deserializer(std::vector<std::uint8_t> frame)
+    : frame_(std::move(frame)) {}
+
+bool Deserializer::VerifyChecksum() {
+  if (frame_.size() < 8) return false;
+  payload_size_ = frame_.size() - 8;
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(frame_[payload_size_ + i])
+              << (8 * i);
+  }
+  checksum_ok_ = stored == Fnv1a(frame_.data(), payload_size_);
+  return checksum_ok_;
+}
+
+std::optional<std::uint8_t> Deserializer::ReadU8() {
+  PM_CHECK_MSG(checksum_ok_, "VerifyChecksum before reading");
+  if (!Need(1)) return std::nullopt;
+  return frame_[pos_++];
+}
+
+std::optional<std::uint32_t> Deserializer::ReadU32() {
+  PM_CHECK_MSG(checksum_ok_, "VerifyChecksum before reading");
+  if (!Need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(frame_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> Deserializer::ReadU64() {
+  PM_CHECK_MSG(checksum_ok_, "VerifyChecksum before reading");
+  if (!Need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(frame_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<std::int32_t> Deserializer::ReadI32() {
+  const auto v = ReadU32();
+  if (!v) return std::nullopt;
+  return static_cast<std::int32_t>(*v);
+}
+
+std::optional<std::int64_t> Deserializer::ReadI64() {
+  const auto v = ReadU64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<double> Deserializer::ReadDouble() {
+  const auto v = ReadU64();
+  if (!v) return std::nullopt;
+  return std::bit_cast<double>(*v);
+}
+
+std::optional<std::string> Deserializer::ReadString() {
+  const auto size = ReadU32();
+  if (!size) return std::nullopt;
+  if (!Need(*size)) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(frame_.data() + pos_),
+                *size);
+  pos_ += *size;
+  return s;
+}
+
+std::optional<std::vector<double>> Deserializer::ReadDoubleVector() {
+  const auto size = ReadU32();
+  if (!size) return std::nullopt;
+  std::vector<double> v;
+  v.reserve(*size);
+  for (std::uint32_t i = 0; i < *size; ++i) {
+    const auto x = ReadDouble();
+    if (!x) return std::nullopt;
+    v.push_back(*x);
+  }
+  return v;
+}
+
+}  // namespace pm::net

@@ -1,0 +1,108 @@
+#include "net/wire.h"
+
+namespace pm::net {
+
+std::vector<std::uint8_t> Encode(const PriceAnnounce& msg) {
+  Serializer s;
+  s.WriteU8(static_cast<std::uint8_t>(MessageType::kPriceAnnounce));
+  s.WriteI32(msg.round);
+  s.WriteDoubleVector(msg.prices);
+  return std::move(s).FinishWithChecksum();
+}
+
+std::vector<std::uint8_t> Encode(const DemandReply& msg) {
+  Serializer s;
+  s.WriteU8(static_cast<std::uint8_t>(MessageType::kDemandReply));
+  s.WriteI32(msg.round);
+  s.WriteU32(msg.node);
+  s.WriteU32(static_cast<std::uint32_t>(msg.decisions.size()));
+  for (const WireDecision& d : msg.decisions) {
+    s.WriteU32(d.user);
+    s.WriteI32(d.bundle_index);
+    s.WriteDouble(d.cost);
+  }
+  return std::move(s).FinishWithChecksum();
+}
+
+std::vector<std::uint8_t> Encode(const Terminate& msg) {
+  Serializer s;
+  s.WriteU8(static_cast<std::uint8_t>(MessageType::kTerminate));
+  s.WriteU8(msg.converged ? 1 : 0);
+  return std::move(s).FinishWithChecksum();
+}
+
+std::optional<MessageType> PeekType(
+    const std::vector<std::uint8_t>& frame) {
+  Deserializer d(frame);
+  if (!d.VerifyChecksum()) return std::nullopt;
+  const auto type = d.ReadU8();
+  if (!type) return std::nullopt;
+  switch (static_cast<MessageType>(*type)) {
+    case MessageType::kPriceAnnounce:
+    case MessageType::kDemandReply:
+    case MessageType::kTerminate:
+      return static_cast<MessageType>(*type);
+  }
+  return std::nullopt;
+}
+
+std::optional<PriceAnnounce> DecodePriceAnnounce(
+    std::vector<std::uint8_t> frame) {
+  Deserializer d(std::move(frame));
+  if (!d.VerifyChecksum()) return std::nullopt;
+  const auto type = d.ReadU8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MessageType::kPriceAnnounce)) {
+    return std::nullopt;
+  }
+  PriceAnnounce msg;
+  const auto round = d.ReadI32();
+  auto prices = d.ReadDoubleVector();
+  if (!round || !prices || !d.Exhausted()) return std::nullopt;
+  msg.round = *round;
+  msg.prices = std::move(*prices);
+  return msg;
+}
+
+std::optional<DemandReply> DecodeDemandReply(
+    std::vector<std::uint8_t> frame) {
+  Deserializer d(std::move(frame));
+  if (!d.VerifyChecksum()) return std::nullopt;
+  const auto type = d.ReadU8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MessageType::kDemandReply)) {
+    return std::nullopt;
+  }
+  DemandReply msg;
+  const auto round = d.ReadI32();
+  const auto node = d.ReadU32();
+  const auto count = d.ReadU32();
+  if (!round || !node || !count) return std::nullopt;
+  msg.round = *round;
+  msg.node = *node;
+  msg.decisions.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto user = d.ReadU32();
+    const auto bundle = d.ReadI32();
+    const auto cost = d.ReadDouble();
+    if (!user || !bundle || !cost) return std::nullopt;
+    msg.decisions.push_back(WireDecision{*user, *bundle, *cost});
+  }
+  if (!d.Exhausted()) return std::nullopt;
+  return msg;
+}
+
+std::optional<Terminate> DecodeTerminate(std::vector<std::uint8_t> frame) {
+  Deserializer d(std::move(frame));
+  if (!d.VerifyChecksum()) return std::nullopt;
+  const auto type = d.ReadU8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MessageType::kTerminate)) {
+    return std::nullopt;
+  }
+  const auto converged = d.ReadU8();
+  if (!converged || !d.Exhausted()) return std::nullopt;
+  return Terminate{*converged != 0};
+}
+
+}  // namespace pm::net

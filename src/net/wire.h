@@ -1,0 +1,65 @@
+// planetmarket: the clock-auction wire protocol (Figure 1).
+//
+//   auctioneer ──PriceAnnounce{round, prices}──► every proxy node
+//   proxy node ──DemandReply{round, node, per-user decisions}──► auctioneer
+//   auctioneer ──Terminate{converged}──► every proxy node
+//
+// Frames are Serializer-encoded with a checksum; Decode* returns nullopt
+// on any corruption or truncation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/serializer.h"
+
+namespace pm::net {
+
+/// Message discriminator (first byte of every frame).
+enum class MessageType : std::uint8_t {
+  kPriceAnnounce = 1,
+  kDemandReply = 2,
+  kTerminate = 3,
+};
+
+/// Auctioneer → proxies: the current clocks.
+struct PriceAnnounce {
+  std::int32_t round = 0;
+  std::vector<double> prices;
+};
+
+/// One user's demand inside a DemandReply.
+struct WireDecision {
+  std::uint32_t user = 0;
+  std::int32_t bundle_index = -1;  // -1: dropped out.
+  double cost = 0.0;
+};
+
+/// Proxy node → auctioneer: the demands of the users it hosts.
+struct DemandReply {
+  std::int32_t round = 0;
+  std::uint32_t node = 0;
+  std::vector<WireDecision> decisions;
+};
+
+/// Auctioneer → proxies: the auction ended.
+struct Terminate {
+  bool converged = false;
+};
+
+std::vector<std::uint8_t> Encode(const PriceAnnounce& msg);
+std::vector<std::uint8_t> Encode(const DemandReply& msg);
+std::vector<std::uint8_t> Encode(const Terminate& msg);
+
+/// Peeks the type of a frame without consuming it (nullopt when the frame
+/// is too short or fails its checksum).
+std::optional<MessageType> PeekType(const std::vector<std::uint8_t>& frame);
+
+std::optional<PriceAnnounce> DecodePriceAnnounce(
+    std::vector<std::uint8_t> frame);
+std::optional<DemandReply> DecodeDemandReply(
+    std::vector<std::uint8_t> frame);
+std::optional<Terminate> DecodeTerminate(std::vector<std::uint8_t> frame);
+
+}  // namespace pm::net

@@ -1,0 +1,102 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pm::sim {
+
+EventId EventQueue::ScheduleAt(SimTime when, std::function<void()> fn) {
+  PM_CHECK_MSG(when >= now_, "cannot schedule in the past: " << when
+                                                             << " < "
+                                                             << now_);
+  PM_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+EventId EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  PM_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (IsCancelled(id)) return false;
+  // We cannot remove from the heap directly; mark and skip on pop. The
+  // caller only gets `true` if the event is still pending.
+  // Determine pending-ness by scanning is avoided: we optimistically mark
+  // and decrement, but only if the event has not run. Events that already
+  // ran have been popped, so marking them would desynchronise pending_.
+  // We track ran events implicitly: ids pop in arbitrary order, so keep a
+  // conservative check — an id is "pending" iff it is not cancelled and
+  // the heap still holds it. The heap scan is O(n) but Cancel is rare.
+  // (std::priority_queue hides its container; use the documented trick.)
+  struct Opener : std::priority_queue<Entry, std::vector<Entry>, Later> {
+    static const std::vector<Entry>& container(
+        const std::priority_queue<Entry, std::vector<Entry>, Later>& q) {
+      return q.*&Opener::c;
+    }
+  };
+  const auto& entries = Opener::container(heap_);
+  const bool still_pending =
+      std::any_of(entries.begin(), entries.end(),
+                  [id](const Entry& e) { return e.id == id; });
+  if (!still_pending) return false;
+  cancelled_.push_back(id);
+  --pending_;
+  return true;
+}
+
+bool EventQueue::IsCancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+bool EventQueue::Step() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (IsCancelled(top.id)) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), top.id),
+          cancelled_.end());
+      continue;
+    }
+    now_ = top.when;
+    --pending_;
+    top.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::RunAll() {
+  std::size_t dispatched = 0;
+  while (Step()) ++dispatched;
+  return dispatched;
+}
+
+std::size_t EventQueue::RunUntil(SimTime until) {
+  PM_CHECK_MSG(until >= now_, "RunUntil into the past: " << until);
+  std::size_t dispatched = 0;
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (IsCancelled(top.id)) {
+      const EventId id = top.id;
+      heap_.pop();
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id),
+                       cancelled_.end());
+      continue;
+    }
+    if (top.when > until) break;
+    Step();
+    ++dispatched;
+  }
+  now_ = std::max(now_, until);
+  return dispatched;
+}
+
+}  // namespace pm::sim

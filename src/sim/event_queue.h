@@ -1,0 +1,86 @@
+// planetmarket: discrete-event simulation core.
+//
+// The longitudinal experiments (§V.B: six auctions over several months)
+// are driven by a classic event-calendar simulation: job arrivals and
+// departures mutate the fleet, a periodic auction event runs the market.
+// Events at equal timestamps run in scheduling order (stable), which keeps
+// multi-event ticks deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pm::sim {
+
+/// Simulated time. The unit is chosen by the model (the market simulation
+/// uses hours).
+using SimTime = double;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// A time-ordered event calendar with stable same-time ordering.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Current simulated time (the timestamp of the last dispatched event,
+  /// initially 0).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (must be >= Now()). Returns an
+  /// id usable with Cancel.
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` time units from Now() (delay >= 0).
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// cancelled before, or never existed.
+  bool Cancel(EventId id);
+
+  /// Runs events until the calendar is empty. Returns events dispatched.
+  std::size_t RunAll();
+
+  /// Runs events with timestamp <= `until`, then sets Now() to `until`
+  /// (if `until` is beyond the last dispatched event). Returns events
+  /// dispatched.
+  std::size_t RunUntil(SimTime until);
+
+  /// Dispatches exactly one event if any is pending. Returns true if an
+  /// event ran.
+  bool Step();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t PendingCount() const { return pending_; }
+
+  bool Empty() const { return pending_ == 0; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  // Tie-break: FIFO among equal timestamps.
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool IsCancelled(EventId id) const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventId> cancelled_;  // Small; linear scan is fine.
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace pm::sim

@@ -1,0 +1,73 @@
+#include "sim/process.h"
+
+#include "common/check.h"
+
+namespace pm::sim {
+
+PeriodicProcess::PeriodicProcess(EventQueue& queue, SimTime first_at,
+                                 SimTime period,
+                                 std::function<bool(int)> on_tick)
+    : queue_(queue), period_(period), on_tick_(std::move(on_tick)) {
+  PM_CHECK_MSG(period_ > 0.0, "period must be positive, got " << period_);
+  PM_CHECK(on_tick_ != nullptr);
+  Arm(first_at);
+}
+
+void PeriodicProcess::Arm(SimTime when) {
+  pending_ = queue_.ScheduleAt(when, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    const int tick = ticks_++;
+    const bool keep_going = on_tick_(tick);
+    if (keep_going && running_) {
+      Arm(queue_.Now() + period_);
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+void PeriodicProcess::Stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    queue_.Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+PoissonProcess::PoissonProcess(EventQueue& queue, double rate,
+                               RandomStream& rng,
+                               std::function<bool()> on_arrival)
+    : queue_(queue),
+      rate_(rate),
+      rng_(rng),
+      on_arrival_(std::move(on_arrival)) {
+  PM_CHECK_MSG(rate_ > 0.0, "rate must be positive, got " << rate_);
+  PM_CHECK(on_arrival_ != nullptr);
+  Arm();
+}
+
+void PoissonProcess::Arm() {
+  const SimTime gap = rng_.Exponential(rate_);
+  pending_ = queue_.ScheduleAfter(gap, [this] {
+    pending_ = 0;
+    if (!running_) return;
+    ++arrivals_;
+    const bool keep_going = on_arrival_();
+    if (keep_going && running_) {
+      Arm();
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+void PoissonProcess::Stop() {
+  running_ = false;
+  if (pending_ != 0) {
+    queue_.Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+}  // namespace pm::sim

@@ -1,0 +1,79 @@
+// planetmarket: recurring simulation processes.
+//
+// PeriodicProcess models "run an auction every week" / "sample utilization
+// every hour": a fixed-interval callback that can stop itself or be
+// stopped externally. PoissonProcess models stochastic arrival streams
+// (job arrivals in the fleet model).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace pm::sim {
+
+/// Invokes a callback at t0, t0+period, t0+2·period, … until Stop() or the
+/// callback returns false. The callback receives its tick index (0-based).
+class PeriodicProcess {
+ public:
+  /// Registers the process on `queue` (must outlive the process).
+  /// `first_at` is absolute; `period` must be positive.
+  PeriodicProcess(EventQueue& queue, SimTime first_at, SimTime period,
+                  std::function<bool(int)> on_tick);
+
+  ~PeriodicProcess() { Stop(); }
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Cancels the next pending tick; the process never fires again.
+  void Stop();
+
+  /// Ticks dispatched so far.
+  int TickCount() const { return ticks_; }
+
+  bool Running() const { return running_; }
+
+ private:
+  void Arm(SimTime when);
+
+  EventQueue& queue_;
+  SimTime period_;
+  std::function<bool(int)> on_tick_;
+  EventId pending_ = 0;
+  int ticks_ = 0;
+  bool running_ = true;
+};
+
+/// Schedules callback invocations with Exponential(rate) gaps: a Poisson
+/// arrival process. Stops on Stop() or when the callback returns false.
+class PoissonProcess {
+ public:
+  /// `rate` is arrivals per unit time (> 0). The first arrival is drawn
+  /// relative to queue.Now().
+  PoissonProcess(EventQueue& queue, double rate, RandomStream& rng,
+                 std::function<bool()> on_arrival);
+
+  ~PoissonProcess() { Stop(); }
+
+  PoissonProcess(const PoissonProcess&) = delete;
+  PoissonProcess& operator=(const PoissonProcess&) = delete;
+
+  void Stop();
+
+  int ArrivalCount() const { return arrivals_; }
+
+ private:
+  void Arm();
+
+  EventQueue& queue_;
+  double rate_;
+  RandomStream& rng_;
+  std::function<bool()> on_arrival_;
+  EventId pending_ = 0;
+  int arrivals_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace pm::sim

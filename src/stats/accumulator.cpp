@@ -1,0 +1,69 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pm::stats {
+
+void Accumulator::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::Mean() const {
+  PM_CHECK(n_ >= 1);
+  return mean_;
+}
+
+double Accumulator::Min() const {
+  PM_CHECK(n_ >= 1);
+  return min_;
+}
+
+double Accumulator::Max() const {
+  PM_CHECK(n_ >= 1);
+  return max_;
+}
+
+double Accumulator::Sum() const {
+  PM_CHECK(n_ >= 1);
+  return sum_;
+}
+
+double Accumulator::Variance() const {
+  PM_CHECK(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace pm::stats

@@ -1,0 +1,41 @@
+// planetmarket: single-pass online moments (Welford's algorithm).
+//
+// Used where streaming samples must not be buffered: per-round auction
+// telemetry and long longitudinal market simulations.
+#pragma once
+
+#include <cstddef>
+
+namespace pm::stats {
+
+/// Numerically stable online mean/variance/min/max accumulator.
+class Accumulator {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator (parallel reduction-friendly).
+  void Merge(const Accumulator& other);
+
+  std::size_t Count() const { return n_; }
+  bool Empty() const { return n_ == 0; }
+
+  /// Require Count() >= 1.
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+
+  /// Unbiased sample variance; requires Count() >= 2.
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace pm::stats

@@ -1,0 +1,82 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  PM_CHECK_MSG(hi > lo, "histogram range [" << lo << "," << hi
+                                            << "] is empty");
+  PM_CHECK(bins >= 1);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value > hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // value == hi_ lands here.
+  ++counts_[bin];
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+std::size_t Histogram::Count(std::size_t bin) const {
+  PM_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::BinCenter(std::size_t bin) const {
+  PM_CHECK(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::BinLow(std::size_t bin) const {
+  PM_CHECK(bin < counts_.size());
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::Fraction(std::size_t bin) const {
+  PM_CHECK(bin < counts_.size());
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) /
+         static_cast<double>(in_range);
+}
+
+std::string Histogram::Render(int max_width) const {
+  PM_CHECK(max_width >= 1);
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[96];
+    std::snprintf(head, sizeof(head), "[%9.3f,%9.3f) %8zu ", BinLow(i),
+                  BinLow(i) + width_, counts_[i]);
+    os << head;
+    const int len = static_cast<int>(std::lround(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        max_width));
+    os << std::string(static_cast<std::size_t>(len), '#') << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow: " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace pm::stats

@@ -1,0 +1,45 @@
+// planetmarket: fixed-width histograms over a closed range.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pm::stats {
+
+/// A histogram with `bins` equal-width buckets spanning [lo, hi]. Values
+/// outside the range are counted in under/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  std::size_t NumBins() const { return counts_.size(); }
+  std::size_t Count(std::size_t bin) const;
+  std::size_t TotalCount() const { return total_; }
+  std::size_t Underflow() const { return underflow_; }
+  std::size_t Overflow() const { return overflow_; }
+
+  /// Midpoint of bin i.
+  double BinCenter(std::size_t bin) const;
+
+  /// Inclusive lower edge of bin i.
+  double BinLow(std::size_t bin) const;
+
+  /// Fraction of in-range samples in bin i (0 if empty histogram).
+  double Fraction(std::size_t bin) const;
+
+  /// One line per bin: "[lo,hi) count ###…".
+  std::string Render(int max_width) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pm::stats

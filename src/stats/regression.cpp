@@ -1,0 +1,34 @@
+#include "stats/regression.h"
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace pm::stats {
+
+LinearFit FitLinear(std::span<const double> xs, std::span<const double> ys) {
+  PM_CHECK_MSG(xs.size() == ys.size() && xs.size() >= 2,
+               "FitLinear needs equal sizes >= 2");
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  PM_CHECK_MSG(sxx > 0.0, "FitLinear requires variance in x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy <= 0.0) {
+    fit.r_squared = 1.0;  // ys constant and perfectly explained.
+  } else {
+    const double ss_res = syy - fit.slope * sxy;
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace pm::stats

@@ -1,0 +1,23 @@
+// planetmarket: ordinary least squares on one predictor.
+//
+// Used by bench/scaling_auction to verify the paper's §III.C.4 claim that
+// clock-auction runtime "scales linearly in the number of participants and
+// the number of resources": we fit time ~ a + b·size and report R².
+#pragma once
+
+#include <span>
+
+namespace pm::stats {
+
+/// Result of a simple linear regression y = intercept + slope·x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // Coefficient of determination in [0, 1].
+};
+
+/// Fits OLS through (xs[i], ys[i]). Requires equal sizes >= 2 and nonzero
+/// variance in xs.
+LinearFit FitLinear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace pm::stats

@@ -1,0 +1,371 @@
+// Tests for pm::agents: price learning, bidding strategies, workload
+// generation.
+#include <gtest/gtest.h>
+
+#include "agents/strategy.h"
+#include "agents/team.h"
+#include "agents/workload_gen.h"
+#include "common/check.h"
+
+namespace pm::agents {
+namespace {
+
+// --------------------------------------------------------------- learning --
+
+TEST(PriceLearnerTest, BeliefsMoveTowardObservations) {
+  PriceLearner learner({10.0, 10.0}, 0.5, 0.5, 0.9);
+  const std::vector<double> observed = {20.0, 6.0};
+  learner.Observe(observed);
+  EXPECT_NEAR(learner.Belief(0), 15.0, 1e-12);
+  EXPECT_NEAR(learner.Belief(1), 8.0, 1e-12);
+}
+
+TEST(PriceLearnerTest, RepeatedObservationConverges) {
+  PriceLearner learner({100.0}, 0.5, 0.5, 0.9);
+  const std::vector<double> market = {10.0};
+  for (int i = 0; i < 30; ++i) learner.Observe(market);
+  EXPECT_NEAR(learner.Belief(0), 10.0, 1e-3);
+  EXPECT_EQ(learner.ObservationCount(), 30);
+}
+
+TEST(PriceLearnerTest, MarkupDecaysGeometrically) {
+  PriceLearner learner({1.0}, 0.5, 0.8, 0.5);
+  EXPECT_DOUBLE_EQ(learner.Markup(), 0.8);
+  const std::vector<double> p = {1.0};
+  learner.Observe(p);
+  EXPECT_DOUBLE_EQ(learner.Markup(), 0.4);
+  learner.Observe(p);
+  EXPECT_DOUBLE_EQ(learner.Markup(), 0.2);
+}
+
+TEST(PriceLearnerTest, BelievedCostSumsItems) {
+  PriceLearner learner({2.0, 3.0, 5.0}, 0.5, 0.0, 1.0);
+  const std::vector<std::size_t> pools = {0, 2};
+  const std::vector<double> qtys = {4.0, 2.0};
+  EXPECT_DOUBLE_EQ(learner.BelievedCost(pools, qtys), 18.0);
+}
+
+TEST(PriceLearnerTest, ValidatesArguments) {
+  EXPECT_THROW(PriceLearner({}, 0.5, 0.5, 0.9), pm::CheckFailure);
+  EXPECT_THROW(PriceLearner({1.0}, 0.0, 0.5, 0.9), pm::CheckFailure);
+  EXPECT_THROW(PriceLearner({1.0}, 0.5, -0.1, 0.9), pm::CheckFailure);
+  PriceLearner learner({1.0}, 0.5, 0.5, 0.9);
+  const std::vector<double> wrong_size = {1.0, 2.0};
+  EXPECT_THROW(learner.Observe(wrong_size), pm::CheckFailure);
+  EXPECT_THROW(learner.Belief(5), pm::CheckFailure);
+}
+
+// ------------------------------------------------------------- strategies --
+
+/// Test harness: a 3-cluster world with a hot home cluster.
+struct StrategyFixture {
+  PoolRegistry registry;
+  std::vector<double> reserve;
+  std::vector<double> utilization;
+  std::vector<double> free_capacity;
+
+  StrategyFixture() {
+    // Pools: hot (0,1,2), mid (3,4,5), cold (6,7,8).
+    for (const char* name : {"hot", "mid", "cold"}) {
+      for (ResourceKind kind : kAllResourceKinds) {
+        registry.Intern(name, kind);
+      }
+    }
+    // Hot cluster: expensive reserves, no free room.
+    reserve = {20.0, 3.0, 1.6, 10.0, 1.5, 0.8, 5.0, 0.75, 0.4};
+    utilization = {0.95, 0.95, 0.95, 0.5, 0.5, 0.5, 0.1, 0.1, 0.1};
+    free_capacity = {50, 200, 25, 500, 2000, 250, 900, 3600, 450};
+  }
+
+  MarketView View(double budget = 1e6) const {
+    MarketView view;
+    view.registry = &registry;
+    view.reserve_prices = reserve;
+    view.utilization = utilization;
+    view.free_capacity = free_capacity;
+    view.budget = budget;
+    view.auction_index = 0;
+    return view;
+  }
+
+  TeamProfile Profile(StrategyKind kind) const {
+    TeamProfile p;
+    p.name = "team-x";
+    p.home_cluster = "hot";
+    p.footprint = {40.0, 160.0, 20.0};
+    p.growth_rate = 0.1;
+    p.relocation_cost = 50.0;
+    p.value_multiplier = 2.0;
+    p.strategy = kind;
+    return p;
+  }
+};
+
+TEST(StrategyHelperTest, BundleForClusterMapsKinds) {
+  StrategyFixture fx;
+  const bid::Bundle b = BundleForCluster(fx.registry, "mid",
+                                         {4.0, 16.0, 2.0});
+  EXPECT_EQ(b.Size(), 3u);
+  const auto cpu = fx.registry.Find(PoolKey{"mid", ResourceKind::kCpu});
+  EXPECT_DOUBLE_EQ(b.QuantityOf(*cpu), 4.0);
+}
+
+TEST(StrategyHelperTest, BundleSkipsZeroComponents) {
+  StrategyFixture fx;
+  const bid::Bundle b =
+      BundleForCluster(fx.registry, "mid", {4.0, 0.0, 0.0});
+  EXPECT_EQ(b.Size(), 1u);
+}
+
+TEST(StrategyHelperTest, BelievedClusterCostUsesBeliefs) {
+  StrategyFixture fx;
+  PriceLearner learner(fx.reserve, 0.5, 0.0, 1.0);
+  const double cost = BelievedClusterCost(fx.registry, learner, "cold",
+                                          {10.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(cost, 50.0);
+}
+
+TEST(StrategyTest, TruthfulGrowthOffersAlternatives) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kTruthfulGrowth), fx.reserve,
+                  1);
+  const auto bids = agent.MakeBids(fx.View());
+  ASSERT_EQ(bids.size(), 1u);
+  EXPECT_GT(bids[0].limit, 0.0);
+  // Home plus at least one believed-cheaper alternative (cold is much
+  // cheaper and has room).
+  EXPECT_GE(bids[0].bundles.size(), 2u);
+}
+
+TEST(StrategyTest, TruthfulGrowthRespectsBudget) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kTruthfulGrowth), fx.reserve,
+                  1);
+  const auto bids = agent.MakeBids(fx.View(/*budget=*/5.0));
+  ASSERT_EQ(bids.size(), 1u);
+  EXPECT_LE(bids[0].limit, 5.0);
+}
+
+TEST(StrategyTest, PremiumStickyStaysHome) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kPremiumSticky), fx.reserve, 2);
+  const auto bids = agent.MakeBids(fx.View());
+  ASSERT_EQ(bids.size(), 1u);
+  ASSERT_EQ(bids[0].bundles.size(), 1u);  // Home only, no alternatives.
+  const auto hot_cpu = fx.registry.Find(PoolKey{"hot", ResourceKind::kCpu});
+  EXPECT_GT(bids[0].bundles[0].QuantityOf(*hot_cpu), 0.0);
+  // Pays a hefty premium over believed cost.
+  PriceLearner fresh(fx.reserve, 0.5, 0.6, 0.35);
+  const double believed = BelievedClusterCost(
+      fx.registry, fresh, "hot",
+      {4.0, 16.0, 2.0});
+  EXPECT_GT(bids[0].limit, believed);
+}
+
+TEST(StrategyTest, OpportunistMoverSellsHomeAndRebuysCold) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kOpportunistMover), fx.reserve,
+                  3);
+  const auto bids = agent.MakeBids(fx.View());
+  ASSERT_EQ(bids.size(), 2u);
+  // One offer (negative limit, pure sell), one rebuy (positive limit).
+  const bid::Bid* offer = nullptr;
+  const bid::Bid* rebuy = nullptr;
+  for (const auto& b : bids) {
+    if (b.limit <= 0.0) {
+      offer = &b;
+    } else {
+      rebuy = &b;
+    }
+  }
+  ASSERT_NE(offer, nullptr);
+  ASSERT_NE(rebuy, nullptr);
+  EXPECT_EQ(bid::ClassifyBid(*offer), bid::BidSide::kSeller);
+  EXPECT_EQ(bid::ClassifyBid(*rebuy), bid::BidSide::kBuyer);
+  // The offer vacates the home cluster.
+  const auto hot_cpu = fx.registry.Find(PoolKey{"hot", ResourceKind::kCpu});
+  EXPECT_LT(offer->bundles[0].QuantityOf(*hot_cpu), 0.0);
+}
+
+TEST(StrategyTest, MoverFallsBackWhenSpreadTooSmall) {
+  StrategyFixture fx;
+  TeamProfile profile = fx.Profile(StrategyKind::kOpportunistMover);
+  profile.relocation_cost = 1e9;  // Never worth moving.
+  TeamAgent agent(std::move(profile), fx.reserve, 4);
+  const auto bids = agent.MakeBids(fx.View());
+  // Falls back to truthful growth: a single buy bid.
+  ASSERT_EQ(bids.size(), 1u);
+  EXPECT_GT(bids[0].limit, 0.0);
+}
+
+TEST(StrategyTest, LowballSellerAsksTokenPrice) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kLowballSeller), fx.reserve, 5);
+  const auto bids = agent.MakeBids(fx.View());
+  ASSERT_EQ(bids.size(), 1u);
+  EXPECT_EQ(bid::ClassifyBid(bids[0]), bid::BidSide::kSeller);
+  EXPECT_GE(bids[0].limit, -2.0);  // Token ask.
+  EXPECT_LT(bids[0].limit, 0.0);
+}
+
+TEST(StrategyTest, ArbitrageurBuysDiscountedPools) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kArbitrageur), fx.reserve, 6);
+  // Beliefs start at reserves → no discount → no buy.
+  EXPECT_TRUE(agent.MakeBids(fx.View()).empty());
+  // After observing much higher settled prices everywhere, the reserve
+  // looks like a discount.
+  std::vector<double> settled = fx.reserve;
+  for (double& p : settled) p *= 2.0;
+  agent.ObserveOutcome(settled, {});
+  const auto bids = agent.MakeBids(fx.View());
+  ASSERT_EQ(bids.size(), 1u);
+  EXPECT_EQ(bid::ClassifyBid(bids[0]), bid::BidSide::kBuyer);
+}
+
+TEST(StrategyTest, ArbitrageurResellsHoldings) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kArbitrageur), fx.reserve, 7);
+  agent.mutable_holdings().assign(fx.registry.size(), 0.0);
+  agent.mutable_holdings()[6] = 100.0;  // Cold cpu warehoused.
+  // Observe a crash in beliefs so that reserve >> belief → sell.
+  std::vector<double> crash = fx.reserve;
+  for (double& p : crash) p *= 0.3;
+  agent.ObserveOutcome(crash, {});
+  agent.ObserveOutcome(crash, {});
+  const auto bids = agent.MakeBids(fx.View());
+  bool has_sell = false;
+  for (const auto& b : bids) {
+    if (bid::ClassifyBid(b) == bid::BidSide::kSeller) has_sell = true;
+  }
+  EXPECT_TRUE(has_sell);
+}
+
+TEST(StrategyTest, StrategyNamesRoundTrip) {
+  for (StrategyKind kind :
+       {StrategyKind::kTruthfulGrowth, StrategyKind::kPremiumSticky,
+        StrategyKind::kOpportunistMover, StrategyKind::kLowballSeller,
+        StrategyKind::kArbitrageur}) {
+    EXPECT_EQ(MakeStrategy(kind)->Name(), ToString(kind));
+  }
+}
+
+// ------------------------------------------------------------ workload gen --
+
+TEST(WorkloadGenTest, GeneratesRequestedShape) {
+  WorkloadConfig config;
+  config.num_clusters = 8;
+  config.num_teams = 20;
+  config.min_machines_per_cluster = 10;
+  config.max_machines_per_cluster = 20;
+  config.seed = 7;
+  const World world = GenerateWorld(config);
+  EXPECT_EQ(world.fleet.NumClusters(), 8u);
+  EXPECT_EQ(world.fleet.NumPools(), 24u);
+  EXPECT_EQ(world.agents.size(), 20u);
+  EXPECT_EQ(world.fixed_prices.size(), 24u);
+  EXPECT_EQ(world.target_utilization.size(), 8u);
+}
+
+TEST(WorkloadGenTest, DeterministicInSeed) {
+  WorkloadConfig config;
+  config.num_clusters = 6;
+  config.num_teams = 15;
+  config.seed = 99;
+  const World a = GenerateWorld(config);
+  const World b = GenerateWorld(config);
+  EXPECT_EQ(a.fleet.UtilizationVector(), b.fleet.UtilizationVector());
+  ASSERT_EQ(a.agents.size(), b.agents.size());
+  for (std::size_t i = 0; i < a.agents.size(); ++i) {
+    EXPECT_EQ(a.agents[i].profile().name, b.agents[i].profile().name);
+    EXPECT_EQ(a.agents[i].profile().home_cluster,
+              b.agents[i].profile().home_cluster);
+    EXPECT_EQ(a.agents[i].profile().footprint,
+              b.agents[i].profile().footprint);
+  }
+}
+
+TEST(WorkloadGenTest, DifferentSeedsDifferentWorlds) {
+  WorkloadConfig config;
+  config.num_clusters = 6;
+  config.num_teams = 15;
+  config.seed = 1;
+  const World a = GenerateWorld(config);
+  config.seed = 2;
+  const World b = GenerateWorld(config);
+  EXPECT_NE(a.fleet.UtilizationVector(), b.fleet.UtilizationVector());
+}
+
+TEST(WorkloadGenTest, UtilizationSpreadIsWide) {
+  WorkloadConfig config;
+  config.num_clusters = 12;
+  config.num_teams = 60;
+  config.seed = 5;
+  const World world = GenerateWorld(config);
+  double lo = 1.0, hi = 0.0;
+  for (const std::string& name : world.fleet.ClusterNames()) {
+    const double u =
+        world.fleet.ClusterByName(name).Utilization(ResourceKind::kCpu);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.35);  // Some cold clusters.
+  EXPECT_GT(hi, 0.70);  // Some hot clusters.
+}
+
+TEST(WorkloadGenTest, EveryTeamHasViableProfile) {
+  WorkloadConfig config;
+  config.num_clusters = 6;
+  config.num_teams = 30;
+  config.seed = 11;
+  const World world = GenerateWorld(config);
+  for (const TeamAgent& agent : world.agents) {
+    const TeamProfile& p = agent.profile();
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_TRUE(world.fleet.HasCluster(p.home_cluster));
+    EXPECT_GE(p.footprint.cpu, 1.0);
+    EXPECT_GT(p.relocation_cost, 0.0);
+    EXPECT_GE(p.value_multiplier, 1.0);
+  }
+}
+
+TEST(WorkloadGenTest, FixedPricesMatchUnitCosts) {
+  WorkloadConfig config;
+  config.num_clusters = 3;
+  config.num_teams = 5;
+  config.seed = 3;
+  const World world = GenerateWorld(config);
+  for (PoolId r = 0; r < world.fleet.NumPools(); ++r) {
+    const ResourceKind kind = world.fleet.registry().KeyOf(r).kind;
+    EXPECT_DOUBLE_EQ(world.fixed_prices[r],
+                     config.unit_costs.Of(kind));
+  }
+}
+
+TEST(WorkloadGenTest, StrategyMixRoughlyMatchesFractions) {
+  WorkloadConfig config;
+  config.num_clusters = 10;
+  config.num_teams = 400;
+  config.seed = 23;
+  const World world = GenerateWorld(config);
+  int premium = 0, movers = 0;
+  for (const TeamAgent& agent : world.agents) {
+    if (agent.profile().strategy == StrategyKind::kPremiumSticky) {
+      ++premium;
+    }
+    if (agent.profile().strategy == StrategyKind::kOpportunistMover) {
+      ++movers;
+    }
+  }
+  EXPECT_NEAR(premium / 400.0, config.frac_premium_sticky, 0.06);
+  EXPECT_NEAR(movers / 400.0, config.frac_opportunist_mover, 0.06);
+}
+
+TEST(WorkloadGenTest, InvalidConfigThrows) {
+  WorkloadConfig config;
+  config.num_clusters = 1;
+  EXPECT_THROW(GenerateWorld(config), pm::CheckFailure);
+}
+
+}  // namespace
+}  // namespace pm::agents

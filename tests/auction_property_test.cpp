@@ -1,0 +1,232 @@
+// Property tests for the clock auction: on randomized markets of pure
+// buyers and sellers, every converged run must land on a SYSTEM-feasible
+// point (§III.C.4 "provided that it converges, the clock auction
+// necessarily finds a feasible point"), prices must rise monotonically
+// from the reserves, and convergence itself is guaranteed (§III.C.3).
+// Swept across seeds × increment policies with TEST_P.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "auction/clock_auction.h"
+#include "auction/settlement.h"
+#include "auction/system_check.h"
+#include "common/rng.h"
+
+namespace pm::auction {
+namespace {
+
+using PolicyKind = ClockAuctionConfig::PolicyKind;
+
+struct Instance {
+  std::vector<bid::Bid> bids;
+  std::vector<double> supply;
+  std::vector<double> reserve;
+};
+
+/// Random market: R pools, buyers with 1–3 sparse bundles, some sellers.
+Instance MakeInstance(std::uint64_t seed, std::size_t num_pools,
+                      std::size_t num_users, double seller_fraction) {
+  RandomStream rng(seed);
+  Instance inst;
+  inst.supply.resize(num_pools);
+  inst.reserve.resize(num_pools);
+  for (std::size_t r = 0; r < num_pools; ++r) {
+    inst.supply[r] = rng.Uniform(5.0, 50.0);
+    inst.reserve[r] = rng.Uniform(0.5, 5.0);
+  }
+  for (std::size_t u = 0; u < num_users; ++u) {
+    bid::Bid b;
+    b.user = static_cast<UserId>(u);
+    b.name = "u" + std::to_string(u);
+    const bool seller = rng.Bernoulli(seller_fraction);
+    const int num_bundles = static_cast<int>(rng.UniformInt(1, 3));
+    double max_reserve_cost = 0.0;
+    for (int k = 0; k < num_bundles; ++k) {
+      const int items = static_cast<int>(rng.UniformInt(1, 3));
+      std::vector<bid::BundleItem> bundle_items;
+      double reserve_cost = 0.0;
+      for (int i = 0; i < items; ++i) {
+        const auto pool = static_cast<PoolId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(num_pools) - 1));
+        const double qty = rng.Uniform(1.0, 8.0) * (seller ? -1.0 : 1.0);
+        bundle_items.push_back(bid::BundleItem{pool, qty});
+        reserve_cost += std::abs(qty) * inst.reserve[pool];
+      }
+      bid::Bundle bundle(std::move(bundle_items));
+      if (bundle.Empty()) continue;  // Duplicate pools cancelled out.
+      b.bundles.push_back(std::move(bundle));
+      max_reserve_cost = std::max(max_reserve_cost, reserve_cost);
+    }
+    if (b.bundles.empty()) continue;
+    if (seller) {
+      // Min revenue between 20% and 120% of reserve value.
+      b.limit = -max_reserve_cost * rng.Uniform(0.2, 1.2);
+    } else {
+      // Willingness to pay between 50% and 300% of reserve cost.
+      b.limit = max_reserve_cost * rng.Uniform(0.5, 3.0);
+    }
+    inst.bids.push_back(std::move(b));
+  }
+  bid::AssignUserIds(inst.bids);
+  return inst;
+}
+
+class ClockAuctionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, PolicyKind>> {
+ protected:
+  ClockAuctionConfig Config() const {
+    ClockAuctionConfig config;
+    config.policy_kind = std::get<1>(GetParam());
+    config.alpha = 0.4;
+    config.delta = 0.08;
+    config.step_floor = 0.01;
+    config.max_rounds = 50000;
+    if (config.policy_kind == PolicyKind::kCostNormalized) {
+      config.base_costs.assign(kNumPools, 1.0);
+      for (std::size_t r = 0; r < kNumPools; ++r) {
+        config.base_costs[r] = 0.5 + static_cast<double>(r);
+      }
+    }
+    return config;
+  }
+
+  std::uint64_t Seed() const {
+    return 1000 + static_cast<std::uint64_t>(std::get<0>(GetParam()));
+  }
+
+  static constexpr std::size_t kNumPools = 6;
+};
+
+TEST_P(ClockAuctionPropertyTest, PureBuyersAndSellersAlwaysConverge) {
+  const Instance inst = MakeInstance(Seed(), kNumPools, 24, 0.3);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  const ClockAuctionResult r = auction.Run(Config());
+  EXPECT_TRUE(r.converged) << "rounds = " << r.rounds;
+}
+
+TEST_P(ClockAuctionPropertyTest, ConvergedResultIsSystemFeasible) {
+  const Instance inst = MakeInstance(Seed(), kNumPools, 24, 0.3);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  const ClockAuctionResult r = auction.Run(Config());
+  ASSERT_TRUE(r.converged);
+  const SystemCheckResult check =
+      CheckSystemConstraints(auction, r, 1e-6);
+  EXPECT_TRUE(check.Feasible()) << check.ToString();
+}
+
+TEST_P(ClockAuctionPropertyTest, PricesMonotoneFromReserve) {
+  const Instance inst = MakeInstance(Seed(), kNumPools, 24, 0.2);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  ClockAuctionConfig config = Config();
+  config.record_trajectory = true;
+  const ClockAuctionResult r = auction.Run(config);
+  ASSERT_TRUE(r.converged);
+  ASSERT_FALSE(r.trajectory.empty());
+  for (std::size_t p = 0; p < kNumPools; ++p) {
+    EXPECT_GE(r.trajectory.front().prices[p], inst.reserve[p]);
+  }
+  for (std::size_t t = 1; t < r.trajectory.size(); ++t) {
+    for (std::size_t p = 0; p < kNumPools; ++p) {
+      EXPECT_GE(r.trajectory[t].prices[p],
+                r.trajectory[t - 1].prices[p] - 1e-12);
+    }
+  }
+}
+
+TEST_P(ClockAuctionPropertyTest, SettlementConservesResources) {
+  const Instance inst = MakeInstance(Seed(), kNumPools, 24, 0.3);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  const ClockAuctionResult r = auction.Run(Config());
+  ASSERT_TRUE(r.converged);
+  const Settlement s = Settle(auction, r);
+  double total_payments = 0.0;
+  for (const Award& a : s.awards) total_payments += a.payment;
+  EXPECT_NEAR(s.operator_revenue, total_payments, 1e-6);
+  for (std::size_t p = 0; p < kNumPools; ++p) {
+    EXPECT_LE(s.supply_sold[p],
+              inst.supply[p] * (1.0 + 1e-6) + 1e-6);
+    EXPECT_GE(s.supply_sold[p], 0.0);
+    EXPECT_GE(s.surplus_absorbed[p], 0.0);
+  }
+  EXPECT_EQ(s.awards.size() + s.losers.size(), inst.bids.size());
+}
+
+TEST_P(ClockAuctionPropertyTest, WinnersAffordTheirAwards) {
+  const Instance inst = MakeInstance(Seed(), kNumPools, 24, 0.25);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  const ClockAuctionResult r = auction.Run(Config());
+  ASSERT_TRUE(r.converged);
+  const Settlement s = Settle(auction, r);
+  for (const Award& a : s.awards) {
+    EXPECT_LE(a.payment, inst.bids[a.user].limit + 1e-6)
+        << "user " << a.user;
+  }
+}
+
+using PolicyParam = std::tuple<int, PolicyKind>;
+
+std::string PolicyParamName(
+    const ::testing::TestParamInfo<PolicyParam>& info) {
+  static constexpr const char* kNames[] = {
+      "additive", "capped", "relative", "costnorm", "multiplicative"};
+  return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+         kNames[static_cast<int>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, ClockAuctionPropertyTest,
+    ::testing::Combine(
+        ::testing::Range(0, 8),
+        ::testing::Values(PolicyKind::kAdditive, PolicyKind::kCapped,
+                          PolicyKind::kRelativeCapped,
+                          PolicyKind::kCostNormalized,
+                          PolicyKind::kMultiplicative)),
+    PolicyParamName);
+
+// Buyer-only sweep with bisection on: the tightened clearing price must
+// still satisfy every SYSTEM constraint.
+class BisectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BisectionPropertyTest, BisectedOutcomeIsFeasible) {
+  const Instance inst =
+      MakeInstance(2000 + static_cast<std::uint64_t>(GetParam()), 5, 18,
+                   0.0);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  ClockAuctionConfig config;
+  config.policy_kind = PolicyKind::kRelativeCapped;
+  config.alpha = 0.8;
+  config.delta = 0.25;  // Coarse steps: bisection has work to do.
+  config.step_floor = 0.05;
+  config.intra_round_bisection = true;
+  const ClockAuctionResult r = auction.Run(config);
+  ASSERT_TRUE(r.converged);
+  const SystemCheckResult check = CheckSystemConstraints(auction, r, 1e-6);
+  EXPECT_TRUE(check.Feasible()) << check.ToString();
+}
+
+TEST_P(BisectionPropertyTest, BisectionNeverRaisesFinalPrices) {
+  const Instance inst =
+      MakeInstance(2000 + static_cast<std::uint64_t>(GetParam()), 5, 18,
+                   0.0);
+  ClockAuction auction(inst.bids, inst.supply, inst.reserve);
+  ClockAuctionConfig coarse;
+  coarse.policy_kind = PolicyKind::kRelativeCapped;
+  coarse.alpha = 0.8;
+  coarse.delta = 0.25;
+  coarse.step_floor = 0.05;
+  const ClockAuctionResult plain = auction.Run(coarse);
+  ClockAuctionConfig bisect = coarse;
+  bisect.intra_round_bisection = true;
+  const ClockAuctionResult tight = auction.Run(bisect);
+  ASSERT_TRUE(plain.converged && tight.converged);
+  for (std::size_t p = 0; p < inst.supply.size(); ++p) {
+    EXPECT_LE(tight.prices[p], plain.prices[p] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisectionPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pm::auction

@@ -1,0 +1,123 @@
+// Tests for the workload churn stream and its interaction with the
+// periodic market (the full §V.B longitudinal setting).
+#include <gtest/gtest.h>
+
+#include "agents/workload_gen.h"
+#include "exchange/churn.h"
+#include "exchange/market.h"
+#include "sim/event_queue.h"
+#include "sim/process.h"
+
+namespace pm::exchange {
+namespace {
+
+agents::WorkloadConfig SmallWorld(std::uint64_t seed) {
+  agents::WorkloadConfig config;
+  config.num_clusters = 6;
+  config.num_teams = 18;
+  config.min_machines_per_cluster = 15;
+  config.max_machines_per_cluster = 25;
+  // Leave headroom so arrivals have somewhere to land.
+  config.max_target_utilization = 0.6;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ChurnTest, ArrivalsPlaceJobsAndDeparturesFreeThem) {
+  agents::World world = GenerateWorld(SmallWorld(1));
+  sim::EventQueue queue;
+  ChurnConfig config;
+  config.arrival_rate = 2.0;
+  config.mean_lifetime = 50.0;
+  config.seed = 7;
+  ChurnProcess churn(queue, &world.fleet, &world.agents, config);
+
+  const std::size_t jobs_before = world.fleet.AllJobs().size();
+  queue.RunUntil(200.0);
+  churn.Stop();
+  const ChurnStats& stats = churn.stats();
+  // Poisson(400) arrivals expected; allow wide slack.
+  EXPECT_GT(stats.jobs_started + stats.placement_failures, 250);
+  EXPECT_GT(stats.jobs_finished, 100);
+  // Steady state: live churn jobs = started − finished.
+  const std::size_t live = world.fleet.AllJobs().size();
+  EXPECT_EQ(static_cast<long long>(live),
+            static_cast<long long>(jobs_before) + stats.jobs_started -
+                stats.jobs_finished);
+  // Draining the queue retires every remaining churn job: the fleet
+  // returns to its pre-churn population.
+  queue.RunAll();
+  EXPECT_EQ(world.fleet.AllJobs().size(), jobs_before);
+}
+
+TEST(ChurnTest, UtilizationStaysPhysical) {
+  agents::World world = GenerateWorld(SmallWorld(2));
+  sim::EventQueue queue;
+  ChurnConfig config;
+  config.arrival_rate = 5.0;  // Heavy churn.
+  config.mean_lifetime = 500.0;
+  config.seed = 3;
+  ChurnProcess churn(queue, &world.fleet, &world.agents, config);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    queue.RunUntil((epoch + 1) * 50.0);
+    for (double u : world.fleet.UtilizationVector()) {
+      EXPECT_GE(u, -1e-9);
+      EXPECT_LE(u, 1.0 + 1e-9);
+    }
+  }
+  // Under heavy sustained churn the full clusters must reject arrivals
+  // rather than over-pack.
+  EXPECT_GT(churn.stats().placement_failures, 0);
+}
+
+TEST(ChurnTest, StopHaltsArrivals) {
+  agents::World world = GenerateWorld(SmallWorld(3));
+  sim::EventQueue queue;
+  ChurnConfig config;
+  config.arrival_rate = 1.0;
+  config.seed = 5;
+  ChurnProcess churn(queue, &world.fleet, &world.agents, config);
+  queue.RunUntil(50.0);
+  churn.Stop();
+  const long long started = churn.stats().jobs_started;
+  queue.RunAll();  // Only departures remain.
+  EXPECT_EQ(churn.stats().jobs_started, started);
+}
+
+TEST(ChurnTest, MarketAndChurnComposeOnOneClock) {
+  // The §V.B setting end to end: weekly auctions over a fleet that
+  // churns continuously between them.
+  agents::World world = GenerateWorld(SmallWorld(4));
+  exchange::MarketConfig market_config;
+  Market market(&world.fleet, &world.agents, world.fixed_prices,
+                market_config);
+  sim::EventQueue queue;
+  ChurnConfig churn_config;
+  churn_config.arrival_rate = 0.5;
+  churn_config.mean_lifetime = 200.0;
+  churn_config.seed = 11;
+  ChurnProcess churn(queue, &world.fleet, &world.agents, churn_config);
+  sim::PeriodicProcess auctions(queue, 168.0, 168.0, [&](int tick) {
+    const AuctionReport report = market.RunAuction();
+    EXPECT_TRUE(report.converged) << "auction " << tick;
+    return tick < 3;
+  });
+  queue.RunUntil(4 * 168.0 + 1.0);
+  churn.Stop();
+  EXPECT_EQ(market.AuctionCount(), 4);
+  EXPECT_GT(churn.stats().jobs_started, 0);
+  EXPECT_EQ(market.ledger().TotalBalance(), Money());
+}
+
+TEST(ChurnTest, ValidatesConfiguration) {
+  agents::World world = GenerateWorld(SmallWorld(5));
+  sim::EventQueue queue;
+  ChurnConfig bad;
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW(
+      ChurnProcess(queue, &world.fleet, &world.agents, bad),
+      CheckFailure);
+}
+
+}  // namespace
+}  // namespace pm::exchange

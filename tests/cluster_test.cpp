@@ -1,0 +1,341 @@
+// Tests for pm::cluster: machines, placement policies, clusters, fleet.
+#include <gtest/gtest.h>
+
+#include "cluster/fleet.h"
+#include "common/check.h"
+
+namespace pm::cluster {
+namespace {
+
+const TaskShape kMachine{16.0, 64.0, 8.0};
+
+// ---------------------------------------------------------------- shapes --
+
+TEST(TaskShapeTest, ComponentAccess) {
+  TaskShape s{1.0, 2.0, 3.0};
+  EXPECT_EQ(s.Of(ResourceKind::kCpu), 1.0);
+  EXPECT_EQ(s.Of(ResourceKind::kRam), 2.0);
+  EXPECT_EQ(s.Of(ResourceKind::kDisk), 3.0);
+  s.Of(ResourceKind::kRam) = 9.0;
+  EXPECT_EQ(s.ram_gb, 9.0);
+}
+
+TEST(TaskShapeTest, ArithmeticAndScaling) {
+  const TaskShape a{1.0, 2.0, 3.0};
+  const TaskShape b{0.5, 0.5, 0.5};
+  EXPECT_EQ((a + b).cpu, 1.5);
+  EXPECT_EQ((a - b).disk_tb, 2.5);
+  EXPECT_EQ((a * 2.0).ram_gb, 4.0);
+}
+
+TEST(TaskShapeTest, FitsIsComponentWise) {
+  const TaskShape big{4.0, 4.0, 4.0};
+  EXPECT_TRUE(big.Fits({4.0, 4.0, 4.0}));
+  EXPECT_TRUE(big.Fits({1.0, 1.0, 1.0}));
+  EXPECT_FALSE(big.Fits({5.0, 1.0, 1.0}));
+  EXPECT_FALSE(big.Fits({1.0, 1.0, 4.1}));
+}
+
+TEST(JobTest, TotalDemandScalesByTasks) {
+  Job job;
+  job.shape = {2.0, 8.0, 1.0};
+  job.tasks = 5;
+  EXPECT_EQ(job.TotalDemand().cpu, 10.0);
+  EXPECT_EQ(job.TotalDemand().ram_gb, 40.0);
+}
+
+// --------------------------------------------------------------- machines --
+
+TEST(MachineTest, PlaceAndRemoveTracksUsage) {
+  Machine m(kMachine);
+  const TaskShape task{4.0, 16.0, 2.0};
+  EXPECT_TRUE(m.CanFit(task));
+  m.Place(task);
+  EXPECT_EQ(m.used().cpu, 4.0);
+  EXPECT_EQ(m.Free().cpu, 12.0);
+  m.Remove(task);
+  EXPECT_EQ(m.used().cpu, 0.0);
+}
+
+TEST(MachineTest, CannotOverfill) {
+  Machine m(kMachine);
+  const TaskShape task{10.0, 10.0, 1.0};
+  m.Place(task);
+  EXPECT_FALSE(m.CanFit(task));  // 20 > 16 cpu.
+  EXPECT_THROW(m.Place(task), CheckFailure);
+}
+
+TEST(MachineTest, FitIsPerDimension) {
+  Machine m(kMachine);
+  m.Place({1.0, 60.0, 1.0});
+  EXPECT_FALSE(m.CanFit({1.0, 8.0, 1.0}));  // RAM binds.
+  EXPECT_TRUE(m.CanFit({1.0, 4.0, 1.0}));
+}
+
+TEST(MachineTest, UtilizationPerKind) {
+  Machine m(kMachine);
+  m.Place({8.0, 16.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.Utilization(ResourceKind::kCpu), 0.5);
+  EXPECT_DOUBLE_EQ(m.Utilization(ResourceKind::kRam), 0.25);
+  EXPECT_DOUBLE_EQ(m.Utilization(ResourceKind::kDisk), 0.25);
+}
+
+TEST(MachineTest, RemoveUnplacedThrows) {
+  Machine m(kMachine);
+  EXPECT_THROW(m.Remove({4.0, 4.0, 4.0}), CheckFailure);
+}
+
+TEST(MachineTest, FillAfterIsMaxDimension) {
+  Machine m(kMachine);
+  EXPECT_DOUBLE_EQ(m.FillAfter({8.0, 16.0, 1.0}), 0.5);  // cpu 8/16.
+}
+
+// -------------------------------------------------------------- scheduler --
+
+std::vector<Machine> ThreeMachines() {
+  return {Machine(kMachine), Machine(kMachine), Machine(kMachine)};
+}
+
+TEST(SchedulerTest, FirstFitPicksLowestIndex) {
+  auto machines = ThreeMachines();
+  const PlacementResult r =
+      PlaceTasks(machines, {4.0, 4.0, 1.0}, 2, PlacementPolicy::kFirstFit);
+  EXPECT_TRUE(r.Complete());
+  EXPECT_EQ(r.tasks_placed[0], 2);
+  EXPECT_EQ(r.tasks_placed[1], 0);
+}
+
+TEST(SchedulerTest, WorstFitSpreadsLoad) {
+  auto machines = ThreeMachines();
+  const PlacementResult r =
+      PlaceTasks(machines, {4.0, 4.0, 1.0}, 3, PlacementPolicy::kWorstFit);
+  EXPECT_TRUE(r.Complete());
+  EXPECT_EQ(r.tasks_placed, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(SchedulerTest, BestFitPacksTightly) {
+  auto machines = ThreeMachines();
+  machines[1].Place({12.0, 12.0, 1.0});  // Machine 1 is nearly full.
+  const PlacementResult r =
+      PlaceTasks(machines, {4.0, 4.0, 1.0}, 1, PlacementPolicy::kBestFit);
+  EXPECT_TRUE(r.Complete());
+  EXPECT_EQ(r.tasks_placed[1], 1);  // Fills the tight machine first.
+}
+
+TEST(SchedulerTest, ReportsFailuresWhenFull) {
+  std::vector<Machine> machines = {Machine({4.0, 4.0, 4.0})};
+  const PlacementResult r =
+      PlaceTasks(machines, {3.0, 1.0, 1.0}, 3, PlacementPolicy::kFirstFit);
+  EXPECT_FALSE(r.Complete());
+  EXPECT_EQ(r.TotalPlaced(), 1);
+  EXPECT_EQ(r.tasks_failed, 2);
+}
+
+TEST(SchedulerTest, UndoRestoresState) {
+  auto machines = ThreeMachines();
+  const TaskShape task{4.0, 4.0, 1.0};
+  const PlacementResult r =
+      PlaceTasks(machines, task, 5, PlacementPolicy::kWorstFit);
+  UndoPlacement(machines, task, r);
+  for (const Machine& m : machines) {
+    EXPECT_EQ(m.used().cpu, 0.0);
+  }
+}
+
+TEST(SchedulerTest, PolicyNames) {
+  EXPECT_EQ(ToString(PlacementPolicy::kFirstFit), "first-fit");
+  EXPECT_EQ(ToString(PlacementPolicy::kBestFit), "best-fit");
+  EXPECT_EQ(ToString(PlacementPolicy::kWorstFit), "worst-fit");
+}
+
+// ---------------------------------------------------------------- cluster --
+
+Job MakeJob(JobId id, const std::string& team, int tasks = 4) {
+  Job job;
+  job.id = id;
+  job.team = team;
+  job.shape = {2.0, 8.0, 1.0};
+  job.tasks = tasks;
+  return job;
+}
+
+TEST(ClusterTest, HomogeneousConstruction) {
+  const Cluster c = Cluster::Homogeneous("c1", 5, kMachine);
+  EXPECT_EQ(c.NumMachines(), 5u);
+  EXPECT_EQ(c.Capacity(ResourceKind::kCpu), 80.0);
+  EXPECT_EQ(c.Used(ResourceKind::kCpu), 0.0);
+}
+
+TEST(ClusterTest, AddJobIsAtomic) {
+  Cluster c = Cluster::Homogeneous("c1", 1, {8.0, 32.0, 4.0});
+  // 5 tasks of 2 cpu = 10 cpu > 8: must fail and leave no residue.
+  EXPECT_FALSE(c.AddJob(MakeJob(1, "t", 5), PlacementPolicy::kFirstFit));
+  EXPECT_EQ(c.Used(ResourceKind::kCpu), 0.0);
+  EXPECT_FALSE(c.HasJob(1));
+}
+
+TEST(ClusterTest, AddRemoveRoundTrip) {
+  Cluster c = Cluster::Homogeneous("c1", 4, kMachine);
+  EXPECT_TRUE(c.AddJob(MakeJob(7, "team-a"), PlacementPolicy::kBestFit));
+  EXPECT_TRUE(c.HasJob(7));
+  EXPECT_EQ(c.Used(ResourceKind::kCpu), 8.0);
+  const auto job = c.RemoveJob(7);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->team, "team-a");
+  EXPECT_EQ(c.Used(ResourceKind::kCpu), 0.0);
+}
+
+TEST(ClusterTest, RemoveUnknownJobReturnsNullopt) {
+  Cluster c = Cluster::Homogeneous("c1", 1, kMachine);
+  EXPECT_FALSE(c.RemoveJob(42).has_value());
+}
+
+TEST(ClusterTest, DuplicateJobIdThrows) {
+  Cluster c = Cluster::Homogeneous("c1", 4, kMachine);
+  ASSERT_TRUE(c.AddJob(MakeJob(1, "a"), PlacementPolicy::kFirstFit));
+  EXPECT_THROW(c.AddJob(MakeJob(1, "b"), PlacementPolicy::kFirstFit),
+               CheckFailure);
+}
+
+TEST(ClusterTest, JobIdsInInsertionOrder) {
+  Cluster c = Cluster::Homogeneous("c1", 8, kMachine);
+  for (JobId id : {5, 2, 9}) {
+    ASSERT_TRUE(c.AddJob(MakeJob(id, "t", 1), PlacementPolicy::kBestFit));
+  }
+  EXPECT_EQ(c.JobIds(), (std::vector<JobId>{5, 2, 9}));
+}
+
+TEST(ClusterTest, UtilizationAggregatesMachines) {
+  Cluster c = Cluster::Homogeneous("c1", 2, kMachine);
+  ASSERT_TRUE(c.AddJob(MakeJob(1, "t", 4), PlacementPolicy::kWorstFit));
+  // 8 cpu over 32 capacity.
+  EXPECT_DOUBLE_EQ(c.Utilization(ResourceKind::kCpu), 0.25);
+  EXPECT_DOUBLE_EQ(c.MaxUtilization(),
+                   c.Utilization(ResourceKind::kRam));  // RAM dominates.
+}
+
+TEST(ClusterTest, CanFitDoesNotMutate) {
+  Cluster c = Cluster::Homogeneous("c1", 1, kMachine);
+  EXPECT_TRUE(c.CanFit(MakeJob(1, "t", 2), PlacementPolicy::kBestFit));
+  EXPECT_EQ(c.Used(ResourceKind::kCpu), 0.0);
+}
+
+// ------------------------------------------------------------------ fleet --
+
+Fleet MakeFleet() {
+  std::vector<Cluster> clusters;
+  clusters.push_back(Cluster::Homogeneous("a", 2, kMachine));
+  clusters.push_back(Cluster::Homogeneous("b", 4, kMachine));
+  return Fleet(std::move(clusters), TaskShape{10.0, 1.5, 0.8});
+}
+
+TEST(FleetTest, RegistryHasPoolPerClusterKind) {
+  const Fleet fleet = MakeFleet();
+  EXPECT_EQ(fleet.NumPools(), 6u);
+  EXPECT_EQ(fleet.ClusterNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(
+      fleet.registry().Find(PoolKey{"b", ResourceKind::kDisk}).has_value());
+}
+
+TEST(FleetTest, DuplicateClusterNamesThrow) {
+  std::vector<Cluster> clusters;
+  clusters.push_back(Cluster::Homogeneous("x", 1, kMachine));
+  clusters.push_back(Cluster::Homogeneous("x", 1, kMachine));
+  EXPECT_THROW(Fleet(std::move(clusters), TaskShape{1, 1, 1}),
+               CheckFailure);
+}
+
+TEST(FleetTest, VectorsAreConsistent) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 4)));
+  const auto cap = fleet.CapacityVector();
+  const auto used = fleet.UsedVector();
+  const auto free = fleet.FreeVector();
+  const auto util = fleet.UtilizationVector();
+  for (std::size_t r = 0; r < cap.size(); ++r) {
+    EXPECT_NEAR(free[r], cap[r] - used[r], 1e-9);
+    if (cap[r] > 0) EXPECT_NEAR(util[r], used[r] / cap[r], 1e-12);
+  }
+}
+
+TEST(FleetTest, CostVectorFollowsKind) {
+  const Fleet fleet = MakeFleet();
+  const auto costs = fleet.CostVector();
+  const auto cpu_a = fleet.registry().Find(PoolKey{"a", ResourceKind::kCpu});
+  const auto disk_b =
+      fleet.registry().Find(PoolKey{"b", ResourceKind::kDisk});
+  EXPECT_DOUBLE_EQ(costs[*cpu_a], 10.0);
+  EXPECT_DOUBLE_EQ(costs[*disk_b], 0.8);
+}
+
+TEST(FleetTest, MoveJobBetweenClusters) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 4)));
+  EXPECT_EQ(fleet.LocateJob(1), "a");
+  EXPECT_TRUE(fleet.MoveJob(1, "b"));
+  EXPECT_EQ(fleet.LocateJob(1), "b");
+  EXPECT_EQ(fleet.ClusterByName("a").Used(ResourceKind::kCpu), 0.0);
+}
+
+TEST(FleetTest, MoveJobRevertsWhenDestinationFull) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 4)));
+  // Fill cluster b completely: each 8-task job fills one 16-core
+  // machine exactly; b has 4 machines.
+  for (JobId id = 10; id < 14; ++id) {
+    ASSERT_TRUE(fleet.AddJob("b", MakeJob(id, "filler", 8)));
+  }
+  EXPECT_FALSE(fleet.MoveJob(1, "b"));
+  EXPECT_EQ(fleet.LocateJob(1), "a");  // Restored.
+}
+
+TEST(FleetTest, MoveToSameClusterIsNoop) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 1)));
+  EXPECT_TRUE(fleet.MoveJob(1, "a"));
+  EXPECT_EQ(fleet.LocateJob(1), "a");
+}
+
+TEST(FleetTest, MoveUnknownJobReturnsFalse) {
+  Fleet fleet = MakeFleet();
+  EXPECT_FALSE(fleet.MoveJob(99, "b"));
+}
+
+TEST(FleetTest, RemoveJobSearchesAllClusters) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("b", MakeJob(3, "t", 2)));
+  const auto removed = fleet.RemoveJob(3);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(fleet.LocateJob(3), "");
+}
+
+TEST(FleetTest, AllJobsListsLocations) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 1)));
+  ASSERT_TRUE(fleet.AddJob("b", MakeJob(2, "t", 1)));
+  const auto jobs = fleet.AllJobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].cluster, "a");
+  EXPECT_EQ(jobs[1].cluster, "b");
+}
+
+TEST(FleetTest, FleetUtilizationIsWeightedAverage) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 4)));  // 8 cpu of 96 total.
+  EXPECT_NEAR(fleet.FleetUtilization(ResourceKind::kCpu), 8.0 / 96.0,
+              1e-12);
+}
+
+TEST(FleetTest, UtilizationPercentileRanksClusters) {
+  Fleet fleet = MakeFleet();
+  ASSERT_TRUE(fleet.AddJob("a", MakeJob(1, "t", 8)));
+  // Cluster a is busier than b: a should rank above b.
+  const double pa = fleet.UtilizationPercentile("a", ResourceKind::kCpu);
+  const double pb = fleet.UtilizationPercentile("b", ResourceKind::kCpu);
+  EXPECT_GT(pa, pb);
+  EXPECT_THROW(fleet.UtilizationPercentile("zz", ResourceKind::kCpu),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace pm::cluster

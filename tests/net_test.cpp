@@ -1,0 +1,305 @@
+// Tests for pm::net: channels, serializer, wire protocol, and the
+// distributed clock auction's equivalence with the serial engine.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "auction/settlement.h"
+#include "common/rng.h"
+#include "net/channel.h"
+#include "net/distributed_auction.h"
+#include "net/serializer.h"
+#include "net/wire.h"
+
+namespace pm::net {
+namespace {
+
+// ----------------------------------------------------------------- channel --
+
+TEST(ChannelTest, FifoOrder) {
+  Channel<int> ch;
+  for (int i = 0; i < 5; ++i) ch.Push(i);
+  for (int i = 0; i < 5; ++i) {
+    const auto v = ch.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(ChannelTest, TryPopOnEmptyReturnsNullopt) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.TryPop().has_value());
+  ch.Push(7);
+  EXPECT_EQ(ch.TryPop(), 7);
+}
+
+TEST(ChannelTest, CloseWakesBlockedPop) {
+  Channel<int> ch;
+  std::thread waiter([&ch] {
+    const auto v = ch.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  ch.Close();
+  waiter.join();
+}
+
+TEST(ChannelTest, PendingMessagesSurviveClose) {
+  Channel<int> ch;
+  ch.Push(1);
+  ch.Close();
+  EXPECT_FALSE(ch.Push(2));  // No pushes after close.
+  EXPECT_EQ(ch.Pop(), 1);
+  EXPECT_FALSE(ch.Pop().has_value());
+}
+
+TEST(ChannelTest, CrossThreadDelivery) {
+  Channel<int> ch;
+  std::thread producer([&ch] {
+    for (int i = 0; i < 100; ++i) ch.Push(i);
+    ch.Close();
+  });
+  int expected = 0;
+  while (const auto v = ch.Pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+// -------------------------------------------------------------- serializer --
+
+TEST(SerializerTest, RoundTripsScalars) {
+  Serializer s;
+  s.WriteU8(0xAB);
+  s.WriteU32(0xDEADBEEF);
+  s.WriteU64(0x0123456789ABCDEFULL);
+  s.WriteI32(-42);
+  s.WriteI64(-1LL << 40);
+  s.WriteDouble(3.14159);
+  s.WriteString("hello");
+  Deserializer d(std::move(s).FinishWithChecksum());
+  ASSERT_TRUE(d.VerifyChecksum());
+  EXPECT_EQ(d.ReadU8(), 0xAB);
+  EXPECT_EQ(d.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d.ReadI32(), -42);
+  EXPECT_EQ(d.ReadI64(), -1LL << 40);
+  EXPECT_EQ(d.ReadDouble(), 3.14159);
+  EXPECT_EQ(d.ReadString(), "hello");
+  EXPECT_TRUE(d.Exhausted());
+}
+
+TEST(SerializerTest, RoundTripsDoubleVectorsBitExact) {
+  Serializer s;
+  const std::vector<double> v = {0.0, -0.0, 1e-300, 1e300,
+                                 3.141592653589793};
+  s.WriteDoubleVector(v);
+  Deserializer d(std::move(s).FinishWithChecksum());
+  ASSERT_TRUE(d.VerifyChecksum());
+  const auto out = d.ReadDoubleVector();
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>((*out)[i]),
+              std::bit_cast<std::uint64_t>(v[i]));
+  }
+}
+
+TEST(SerializerTest, CorruptionFailsChecksum) {
+  Serializer s;
+  s.WriteU32(12345);
+  std::vector<std::uint8_t> frame = std::move(s).FinishWithChecksum();
+  frame[1] ^= 0x01;
+  Deserializer d(std::move(frame));
+  EXPECT_FALSE(d.VerifyChecksum());
+}
+
+TEST(SerializerTest, TruncationReturnsNullopt) {
+  Serializer s;
+  s.WriteU32(7);
+  Deserializer d(std::move(s).FinishWithChecksum());
+  ASSERT_TRUE(d.VerifyChecksum());
+  EXPECT_TRUE(d.ReadU32().has_value());
+  EXPECT_FALSE(d.ReadU32().has_value());  // Past the payload.
+  EXPECT_FALSE(d.ReadU64().has_value());
+}
+
+TEST(SerializerTest, ReadBeforeVerifyThrows) {
+  Serializer s;
+  s.WriteU8(1);
+  Deserializer d(std::move(s).FinishWithChecksum());
+  EXPECT_THROW(d.ReadU8(), pm::CheckFailure);
+}
+
+TEST(SerializerTest, TooShortFrameFailsVerification) {
+  Deserializer d(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(d.VerifyChecksum());
+}
+
+TEST(SerializerTest, FnvIsStable) {
+  const std::uint8_t data[] = {'a', 'b', 'c'};
+  // Reference FNV-1a 64-bit of "abc".
+  EXPECT_EQ(Fnv1a(data, 3), 0xe71fa2190541574bULL);
+}
+
+// ------------------------------------------------------------------- wire --
+
+TEST(WireTest, PriceAnnounceRoundTrip) {
+  PriceAnnounce msg;
+  msg.round = 17;
+  msg.prices = {1.5, 0.0, 42.0};
+  const auto decoded = DecodePriceAnnounce(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->round, 17);
+  EXPECT_EQ(decoded->prices, msg.prices);
+}
+
+TEST(WireTest, DemandReplyRoundTrip) {
+  DemandReply msg;
+  msg.round = 3;
+  msg.node = 2;
+  msg.decisions = {WireDecision{0, 1, 12.5}, WireDecision{7, -1, 0.0}};
+  const auto decoded = DecodeDemandReply(Encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->node, 2u);
+  ASSERT_EQ(decoded->decisions.size(), 2u);
+  EXPECT_EQ(decoded->decisions[0].bundle_index, 1);
+  EXPECT_EQ(decoded->decisions[1].bundle_index, -1);
+}
+
+TEST(WireTest, TerminateRoundTrip) {
+  const auto decoded = DecodeTerminate(Encode(Terminate{true}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->converged);
+}
+
+TEST(WireTest, PeekTypeIdentifiesFrames) {
+  EXPECT_EQ(PeekType(Encode(PriceAnnounce{})),
+            MessageType::kPriceAnnounce);
+  EXPECT_EQ(PeekType(Encode(DemandReply{})), MessageType::kDemandReply);
+  EXPECT_EQ(PeekType(Encode(Terminate{})), MessageType::kTerminate);
+}
+
+TEST(WireTest, WrongTypeDecodeFails) {
+  EXPECT_FALSE(DecodePriceAnnounce(Encode(Terminate{})).has_value());
+  EXPECT_FALSE(DecodeDemandReply(Encode(PriceAnnounce{})).has_value());
+}
+
+TEST(WireTest, CorruptFrameFails) {
+  auto frame = Encode(PriceAnnounce{1, {2.0}});
+  frame[frame.size() / 2] ^= 0xFF;
+  EXPECT_FALSE(PeekType(frame).has_value());
+  EXPECT_FALSE(DecodePriceAnnounce(std::move(frame)).has_value());
+}
+
+// ---------------------------------------------------- distributed auction --
+
+auction::ClockAuction RandomAuction(std::uint64_t seed,
+                                    std::size_t num_users) {
+  RandomStream rng(seed);
+  constexpr std::size_t kPools = 5;
+  std::vector<double> supply(kPools), reserve(kPools);
+  for (std::size_t r = 0; r < kPools; ++r) {
+    supply[r] = rng.Uniform(5.0, 40.0);
+    reserve[r] = rng.Uniform(0.5, 3.0);
+  }
+  std::vector<bid::Bid> bids;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    bid::Bid b;
+    b.user = static_cast<UserId>(u);
+    b.name = "u" + std::to_string(u);
+    const bool seller = rng.Bernoulli(0.2);
+    const auto pool =
+        static_cast<PoolId>(rng.UniformInt(0, kPools - 1));
+    const double qty = rng.Uniform(1.0, 6.0) * (seller ? -1 : 1);
+    b.bundles = {bid::Bundle({bid::BundleItem{pool, qty}})};
+    b.limit = seller ? -std::abs(qty) * reserve[pool] * 0.5
+                     : std::abs(qty) * reserve[pool] *
+                           rng.Uniform(1.0, 4.0);
+    bids.push_back(std::move(b));
+  }
+  return auction::ClockAuction(std::move(bids), std::move(supply),
+                               std::move(reserve));
+}
+
+TEST(DistributedAuctionTest, MatchesSerialExactly) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auction::ClockAuction auction = RandomAuction(seed, 30);
+    auction::ClockAuctionConfig serial_config;
+    serial_config.alpha = 0.4;
+    serial_config.delta = 0.08;
+    const auction::ClockAuctionResult serial =
+        auction.Run(serial_config);
+
+    DistributedConfig dist;
+    dist.num_proxy_nodes = 4;
+    dist.auction = serial_config;
+    const DistributedResult distributed =
+        RunDistributedAuction(auction, dist);
+
+    ASSERT_EQ(serial.converged, distributed.result.converged);
+    EXPECT_EQ(serial.rounds, distributed.result.rounds);
+    EXPECT_EQ(serial.prices, distributed.result.prices);  // Bit-exact.
+    for (std::size_t u = 0; u < auction.NumUsers(); ++u) {
+      EXPECT_EQ(serial.decisions[u].bundle_index,
+                distributed.result.decisions[u].bundle_index);
+    }
+    EXPECT_EQ(distributed.transport.decode_failures, 0);
+  }
+}
+
+TEST(DistributedAuctionTest, MessageCountMatchesProtocol) {
+  const auction::ClockAuction auction = RandomAuction(7, 20);
+  DistributedConfig dist;
+  dist.num_proxy_nodes = 4;
+  dist.auction.alpha = 0.4;
+  dist.auction.delta = 0.08;
+  const DistributedResult r = RunDistributedAuction(auction, dist);
+  ASSERT_TRUE(r.result.converged);
+  // Per round: 4 announces + 4 replies; plus 4 terminates.
+  const long long expected =
+      static_cast<long long>(r.result.rounds) * 8 + 4;
+  EXPECT_EQ(r.transport.messages_sent, expected);
+  EXPECT_GT(r.transport.bytes_sent, 0);
+}
+
+TEST(DistributedAuctionTest, SingleNodeWorks) {
+  const auction::ClockAuction auction = RandomAuction(9, 10);
+  DistributedConfig dist;
+  dist.num_proxy_nodes = 1;
+  dist.auction.alpha = 0.4;
+  dist.auction.delta = 0.08;
+  const DistributedResult r = RunDistributedAuction(auction, dist);
+  EXPECT_TRUE(r.result.converged);
+}
+
+TEST(DistributedAuctionTest, MoreNodesThanUsersWorks) {
+  const auction::ClockAuction auction = RandomAuction(11, 3);
+  DistributedConfig dist;
+  dist.num_proxy_nodes = 16;
+  dist.auction.alpha = 0.4;
+  dist.auction.delta = 0.08;
+  const DistributedResult r = RunDistributedAuction(auction, dist);
+  EXPECT_TRUE(r.result.converged);
+}
+
+TEST(DistributedAuctionTest, SettlementWorksOnDistributedResult) {
+  const auction::ClockAuction auction = RandomAuction(13, 25);
+  DistributedConfig dist;
+  dist.auction.alpha = 0.4;
+  dist.auction.delta = 0.08;
+  const DistributedResult r = RunDistributedAuction(auction, dist);
+  ASSERT_TRUE(r.result.converged);
+  const auction::Settlement s = auction::Settle(auction, r.result);
+  EXPECT_EQ(s.awards.size() + s.losers.size(), auction.NumUsers());
+}
+
+TEST(DistributedAuctionTest, RejectsBisection) {
+  const auction::ClockAuction auction = RandomAuction(15, 5);
+  DistributedConfig dist;
+  dist.auction.intra_round_bisection = true;
+  EXPECT_THROW(RunDistributedAuction(auction, dist), pm::CheckFailure);
+}
+
+}  // namespace
+}  // namespace pm::net

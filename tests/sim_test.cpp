@@ -1,0 +1,207 @@
+// Tests for pm::sim: event queue ordering, cancellation, periodic and
+// Poisson processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/process.h"
+
+namespace pm::sim {
+namespace {
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimestampsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.ScheduleAt(2.0, [&] {
+    q.ScheduleAfter(1.5, [&] { fired_at = q.Now(); });
+  });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.ScheduleAt(5.0, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.ScheduleAt(1.0, [] {}), CheckFailure);
+  EXPECT_THROW(q.ScheduleAfter(-1.0, [] {}), CheckFailure);
+}
+
+TEST(EventQueueTest, CancelPreventsDispatch) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.ScheduleAt(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_EQ(q.PendingCount(), 0u);
+  q.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterRunReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(1.0, [] {});
+  q.RunAll();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.ScheduleAt(t, [&fired, &q] { fired.push_back(q.Now()); });
+  }
+  EXPECT_EQ(q.RunUntil(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(q.Now(), 2.5);
+  EXPECT_EQ(q.PendingCount(), 2u);
+}
+
+TEST(EventQueueTest, RunUntilIncludesBoundaryEvents) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(2.0, [&] { ++count; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.ScheduleAfter(1.0, chain);
+  };
+  q.ScheduleAt(0.0, chain);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.Now(), 4.0);
+}
+
+TEST(EventQueueTest, StepRunsExactlyOne) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(1.0, [&] { ++count; });
+  q.ScheduleAt(2.0, [&] { ++count; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+// ------------------------------------------------------------- processes --
+
+TEST(PeriodicProcessTest, FiresAtFixedInterval) {
+  EventQueue q;
+  std::vector<double> fire_times;
+  PeriodicProcess p(q, 10.0, 5.0, [&](int) {
+    fire_times.push_back(q.Now());
+    return true;
+  });
+  q.RunUntil(31.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 15.0, 20.0, 25.0, 30.0}));
+  EXPECT_EQ(p.TickCount(), 5);
+}
+
+TEST(PeriodicProcessTest, CallbackReceivesTickIndex) {
+  EventQueue q;
+  std::vector<int> ticks;
+  PeriodicProcess p(q, 0.0, 1.0, [&](int tick) {
+    ticks.push_back(tick);
+    return tick < 2;
+  });
+  q.RunAll();
+  EXPECT_EQ(ticks, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(p.Running());
+}
+
+TEST(PeriodicProcessTest, StopCancelsFutureTicks) {
+  EventQueue q;
+  int fired = 0;
+  PeriodicProcess p(q, 1.0, 1.0, [&](int) {
+    ++fired;
+    return true;
+  });
+  q.RunUntil(2.5);
+  p.Stop();
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicProcessTest, ZeroPeriodThrows) {
+  EventQueue q;
+  EXPECT_THROW(PeriodicProcess(q, 0.0, 0.0, [](int) { return true; }),
+               CheckFailure);
+}
+
+TEST(PoissonProcessTest, ArrivalCountNearExpectation) {
+  EventQueue q;
+  RandomStream rng(42);
+  int arrivals = 0;
+  PoissonProcess p(q, 2.0, rng, [&] {
+    ++arrivals;
+    return true;
+  });
+  q.RunUntil(1000.0);
+  p.Stop();
+  // Poisson(2000): within ±5 sigma ≈ ±224.
+  EXPECT_NEAR(arrivals, 2000, 250);
+}
+
+TEST(PoissonProcessTest, StopsWhenCallbackReturnsFalse) {
+  EventQueue q;
+  RandomStream rng(7);
+  int arrivals = 0;
+  PoissonProcess p(q, 1.0, rng, [&] {
+    ++arrivals;
+    return arrivals < 3;
+  });
+  q.RunAll();
+  EXPECT_EQ(arrivals, 3);
+  EXPECT_EQ(p.ArrivalCount(), 3);
+}
+
+TEST(PoissonProcessTest, InvalidRateThrows) {
+  EventQueue q;
+  RandomStream rng(1);
+  EXPECT_THROW(PoissonProcess(q, 0.0, rng, [] { return true; }),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace pm::sim

@@ -1,0 +1,269 @@
+// Tests for pm::stats: descriptive statistics, boxplots, histograms,
+// regression, online accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stats/accumulator.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/regression.h"
+
+namespace pm::stats {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(DescriptiveTest, Mean) { EXPECT_DOUBLE_EQ(Mean(kSample), 5.0); }
+
+TEST(DescriptiveTest, VarianceIsUnbiased) {
+  // Σ(x-5)² = 9+1+1+1+0+0+4+16 = 32; 32/7.
+  EXPECT_NEAR(Variance(kSample), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(kSample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  EXPECT_EQ(Min(kSample), 2.0);
+  EXPECT_EQ(Max(kSample), 9.0);
+}
+
+TEST(DescriptiveTest, EmptyInputThrows) {
+  std::vector<double> empty;
+  EXPECT_THROW(Mean(empty), CheckFailure);
+  EXPECT_THROW(Min(empty), CheckFailure);
+  EXPECT_THROW(Quantile(empty, 0.5), CheckFailure);
+}
+
+TEST(DescriptiveTest, QuantileEndpoints) {
+  EXPECT_EQ(Quantile(kSample, 0.0), 2.0);
+  EXPECT_EQ(Quantile(kSample, 1.0), 9.0);
+}
+
+TEST(DescriptiveTest, QuantileInterpolatesR7) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  // R-7: pos = q*(n-1); q=0.5 → 1.5 → 2.5.
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileSingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_EQ(Quantile(xs, 0.25), 42.0);
+}
+
+TEST(DescriptiveTest, QuantileOutOfRangeThrows) {
+  EXPECT_THROW(Quantile(kSample, -0.1), CheckFailure);
+  EXPECT_THROW(Quantile(kSample, 1.1), CheckFailure);
+}
+
+TEST(DescriptiveTest, QuantileUnsortedInputIsSortedInternally) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_EQ(Median(xs), 5.0);
+}
+
+TEST(DescriptiveTest, PercentileRankMidRanksTies) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  // value 2: below=1, ties=2 → rank = 1+1 = 2 of 4 → 50.
+  EXPECT_DOUBLE_EQ(PercentileRank(xs, 2.0), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileRank(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileRank(xs, 10.0), 100.0);
+}
+
+TEST(DescriptiveTest, BoxplotQuartilesAndWhiskers) {
+  const BoxplotSummary box = Boxplot(kSample);
+  EXPECT_DOUBLE_EQ(box.median, 4.5);
+  EXPECT_DOUBLE_EQ(box.q1, 4.0);   // R-7 at pos 1.75.
+  EXPECT_DOUBLE_EQ(box.q3, 5.5);   // R-7 at pos 5.25.
+  EXPECT_EQ(box.n, kSample.size());
+  EXPECT_LE(box.whisker_lo, box.q1);
+  EXPECT_LE(box.q3, box.whisker_hi);
+  // IQR = 1.5 → upper fence 7.75: the 9 is a genuine Tukey outlier.
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_EQ(box.outliers[0], 9.0);
+  EXPECT_EQ(box.whisker_hi, 7.0);
+  EXPECT_EQ(box.whisker_lo, 2.0);
+}
+
+TEST(DescriptiveTest, BoxplotFlagsTukeyOutliers) {
+  std::vector<double> xs = {10, 11, 12, 13, 14, 15, 16, 100};
+  const BoxplotSummary box = Boxplot(xs);
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_EQ(box.outliers[0], 100.0);
+  EXPECT_EQ(box.whisker_hi, 16.0);
+}
+
+TEST(DescriptiveTest, BoxplotConstantSample) {
+  std::vector<double> xs(5, 3.0);
+  const BoxplotSummary box = Boxplot(xs);
+  EXPECT_EQ(box.median, 3.0);
+  EXPECT_EQ(box.whisker_lo, 3.0);
+  EXPECT_EQ(box.whisker_hi, 3.0);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(DescriptiveTest, MeanAbsDeviation) {
+  const std::vector<double> xs = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(MeanAbsDeviation(xs), 1.0);
+}
+
+TEST(DescriptiveTest, PearsonCorrelationSigns) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  std::vector<double> down(up.rbegin(), up.rend());
+  EXPECT_NEAR(PearsonCorrelation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(xs, down), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonConstantThrows) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_THROW(PearsonCorrelation(xs, c), CheckFailure);
+}
+
+// ---------------------------------------------------------------- histogram --
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);   // Bin 0.
+  h.Add(1.99);  // Bin 0.
+  h.Add(2.0);   // Bin 1.
+  h.Add(10.0);  // Top edge lands in last bin.
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.Count(1), 1u);
+  EXPECT_EQ(h.Count(4), 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+}
+
+TEST(HistogramTest, TracksOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 1u);
+  EXPECT_EQ(h.TotalCount(), 2u);
+}
+
+TEST(HistogramTest, FractionsNormalizeOverInRange) {
+  Histogram h(0.0, 4.0, 4);
+  h.AddAll({0.5, 1.5, 1.7, 99.0});
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 2.0 / 3.0);
+}
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(2), 15.0);
+}
+
+TEST(HistogramTest, InvalidRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), pm::CheckFailure);
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll({0.1, 0.2, 0.9});
+  const std::string out = h.Render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+// --------------------------------------------------------------- regression --
+
+TEST(RegressionTest, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(RegressionTest, NoisyLineHasHighR2) {
+  RandomStream rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(10.0 + 0.5 * i + rng.Normal(0.0, 1.0));
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(RegressionTest, UncorrelatedDataHasLowR2) {
+  RandomStream rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(i);
+    ys.push_back(rng.Normal(0.0, 1.0));
+  }
+  EXPECT_LT(FitLinear(xs, ys).r_squared, 0.05);
+}
+
+TEST(RegressionTest, ConstantXThrows) {
+  const std::vector<double> xs = {1.0, 1.0};
+  const std::vector<double> ys = {2.0, 3.0};
+  EXPECT_THROW(FitLinear(xs, ys), pm::CheckFailure);
+}
+
+TEST(RegressionTest, ConstantYIsPerfectFit) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {4.0, 4.0, 4.0};
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_EQ(fit.r_squared, 1.0);
+}
+
+// -------------------------------------------------------------- accumulator --
+
+TEST(AccumulatorTest, MatchesBatchStatistics) {
+  Accumulator acc;
+  for (double x : kSample) acc.Add(x);
+  EXPECT_EQ(acc.Count(), kSample.size());
+  EXPECT_DOUBLE_EQ(acc.Mean(), Mean(kSample));
+  EXPECT_NEAR(acc.Variance(), Variance(kSample), 1e-12);
+  EXPECT_EQ(acc.Min(), 2.0);
+  EXPECT_EQ(acc.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.Sum(), 40.0);
+}
+
+TEST(AccumulatorTest, MergeEquivalentToSequential) {
+  Accumulator left, right, all;
+  for (std::size_t i = 0; i < kSample.size(); ++i) {
+    (i < 3 ? left : right).Add(kSample[i]);
+    all.Add(kSample[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-12);
+  EXPECT_EQ(left.Min(), all.Min());
+  EXPECT_EQ(left.Max(), all.Max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.Add(1.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Count(), 1u);
+  EXPECT_EQ(empty.Mean(), 1.0);
+}
+
+TEST(AccumulatorTest, EmptyQueriesThrow) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.Empty());
+  EXPECT_THROW(acc.Mean(), pm::CheckFailure);
+  acc.Add(1.0);
+  EXPECT_THROW(acc.Variance(), pm::CheckFailure);  // Needs n >= 2.
+}
+
+}  // namespace
+}  // namespace pm::stats
