@@ -1,0 +1,531 @@
+// Microbenchmark for the arena-compiled DemandEngine (§III.C.4: "optimized
+// code written in a lower-level language could reduce this by at least one
+// order of magnitude").
+//
+// Three comparisons:
+//   1. Arena vs legacy demand collection on the paper-scale 100-bidder ×
+//      100-pool fixed-round clock sweep (the legacy path is the pre-engine
+//      ClockAuction inner loop: BidderProxy::Evaluate per user through a
+//      std::function fan-out plus a serial AccumulateInto pass).
+//   2. Incremental vs full demand probes when a price step touches only a
+//      subset of pools (the bisection-probe workload): cost must be
+//      sublinear in the total bundle count.
+//   3. Thread scaling of full arena collections, 1–16 threads.
+//
+// Besides the google-benchmark tables, the binary writes
+// BENCH_demand_engine.json (median-of-repetition timings) to seed the
+// perf trajectory.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/clock_auction.h"
+#include "auction/demand_engine.h"
+#include "auction/increment_policy.h"
+#include "auction/proxy.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using pm::auction::ClockAuction;
+using pm::auction::ClockAuctionConfig;
+using pm::auction::ClockAuctionResult;
+using pm::auction::DemandEngine;
+using pm::auction::ProxyDecision;
+
+/// Paper-scale sweep market (§V: each team bids alternative bundles of
+/// CPU/RAM/disk across clusters). Like a real clock auction, price motion
+/// concentrates as the sweep progresses: 90 % of the pools are "calm" —
+/// their bidders (4 alternative bundles of 4–6 items each) hold finite
+/// limits and drop out over the early rounds, after which those clocks
+/// stop — while 10 % are "hot" pools whose bidders never drop, so their
+/// clocks step on every one of the fixed rounds. The legacy path pays a
+/// full per-proxy evaluation every round regardless; the engine's
+/// inverted index re-evaluates only the hot bidders once the calm pools
+/// stop moving.
+ClockAuction MakeSweepMarket(int users, int pools, std::uint64_t seed) {
+  pm::RandomStream rng(seed);
+  const int hot_pools = std::max(1, pools / 10);
+  std::vector<double> supply(static_cast<std::size_t>(pools));
+  std::vector<double> reserve(static_cast<std::size_t>(pools), 1.0);
+  for (int r = 0; r < pools; ++r) {
+    supply[static_cast<std::size_t>(r)] = r < hot_pools ? 0.5 : 25.0;
+  }
+  std::vector<pm::bid::Bid> bids;
+  bids.reserve(static_cast<std::size_t>(users));
+  const int hot_users = std::max(1, users / 5);
+  for (int u = 0; u < users; ++u) {
+    pm::bid::Bid b;
+    b.user = static_cast<pm::UserId>(u);
+    b.name = "u" + std::to_string(u);
+    if (u < hot_users) {
+      // Hot bidder: small bundles over the contested pools, unbounded π.
+      for (int k = 0; k < 2; ++k) {
+        std::vector<pm::bid::BundleItem> items;
+        for (int j = 0; j < 2; ++j) {
+          items.push_back(pm::bid::BundleItem{
+              static_cast<pm::PoolId>(rng.UniformInt(0, hot_pools - 1)),
+              rng.Uniform(1.0, 3.0)});
+        }
+        pm::bid::Bundle bundle(std::move(items));
+        if (!bundle.Empty()) b.bundles.push_back(std::move(bundle));
+      }
+      b.limit = 1e18;
+    } else {
+      // Calm bidder: alternative CPU/RAM/disk-style bundles with a finite
+      // limit a small multiple of the reserve cost, so rising clocks push
+      // it out within the first few dozen rounds.
+      double reserve_cost = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        std::vector<pm::bid::BundleItem> items;
+        const int nnz = static_cast<int>(rng.UniformInt(4, 6));
+        for (int j = 0; j < nnz; ++j) {
+          items.push_back(pm::bid::BundleItem{
+              static_cast<pm::PoolId>(rng.UniformInt(hot_pools, pools - 1)),
+              rng.Uniform(1.0, 4.0)});
+        }
+        pm::bid::Bundle bundle(std::move(items));
+        if (bundle.Empty()) continue;
+        double cost = 0.0;
+        for (const pm::bid::BundleItem& item : bundle.items()) {
+          cost += item.qty;  // Reserve prices are 1.0.
+        }
+        reserve_cost = std::max(reserve_cost, cost);
+        b.bundles.push_back(std::move(bundle));
+      }
+      if (b.bundles.empty()) {
+        b.bundles.push_back(pm::bid::Bundle({pm::bid::BundleItem{
+            static_cast<pm::PoolId>(hot_pools), 1.0}}));
+        reserve_cost = 1.0;
+      }
+      b.limit = reserve_cost * rng.Uniform(1.1, 3.0);
+    }
+    bids.push_back(std::move(b));
+  }
+  pm::bid::AssignUserIds(bids);
+  return ClockAuction(std::move(bids), std::move(supply),
+                      std::move(reserve));
+}
+
+/// A denser market for the probe benchmarks: many bundles per bidder so
+/// full evaluation cost is dominated by bundle scans.
+ClockAuction MakeDenseMarket(int users, int pools, int bundles_per_user,
+                             int items_per_bundle, std::uint64_t seed) {
+  pm::RandomStream rng(seed);
+  std::vector<double> supply(static_cast<std::size_t>(pools), 10.0);
+  std::vector<double> reserve(static_cast<std::size_t>(pools), 1.0);
+  std::vector<pm::bid::Bid> bids;
+  bids.reserve(static_cast<std::size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    pm::bid::Bid b;
+    b.user = static_cast<pm::UserId>(u);
+    b.name = "u" + std::to_string(u);
+    for (int k = 0; k < bundles_per_user; ++k) {
+      std::vector<pm::bid::BundleItem> items;
+      for (int j = 0; j < items_per_bundle; ++j) {
+        items.push_back(pm::bid::BundleItem{
+            static_cast<pm::PoolId>(rng.UniformInt(0, pools - 1)),
+            rng.Uniform(0.5, 4.0)});
+      }
+      pm::bid::Bundle bundle(std::move(items));
+      if (bundle.Empty()) continue;
+      b.bundles.push_back(std::move(bundle));
+    }
+    if (b.bundles.empty()) {
+      b.bundles.push_back(pm::bid::Bundle({pm::bid::BundleItem{0, 1.0}}));
+    }
+    b.limit = rng.Uniform(50.0, 500.0);
+    bids.push_back(std::move(b));
+  }
+  pm::bid::AssignUserIds(bids);
+  return ClockAuction(std::move(bids), std::move(supply),
+                      std::move(reserve));
+}
+
+constexpr int kSweepRounds = 100;
+constexpr double kAlpha = 0.4;
+constexpr double kDelta = 0.08;
+constexpr double kStepFloor = 1e-3;
+
+/// The pre-engine inner loop, verbatim: evaluate every BidderProxy through
+/// the std::function fan-out, then a serial AccumulateInto pass.
+void LegacyCollectDemand(const std::vector<pm::auction::BidderProxy>& proxies,
+                         const std::vector<pm::bid::Bid>& bids,
+                         std::span<const double> supply,
+                         std::span<const double> prices,
+                         pm::ThreadPool* pool,
+                         std::vector<ProxyDecision>& decisions,
+                         std::vector<double>& excess) {
+  decisions.resize(proxies.size());
+  pm::ParallelFor(pool, 0, proxies.size(), [&](std::size_t u) {
+    decisions[u] = proxies[u].Evaluate(prices);
+  });
+  excess.assign(supply.size(), 0.0);
+  for (std::size_t u = 0; u < proxies.size(); ++u) {
+    if (!decisions[u].Active()) continue;
+    pm::bid::AccumulateInto(
+        bids[u].bundles[static_cast<std::size_t>(decisions[u].bundle_index)],
+        excess);
+  }
+  for (std::size_t r = 0; r < supply.size(); ++r) {
+    excess[r] -= supply[r];
+  }
+}
+
+struct LegacySweepResult {
+  std::vector<double> prices;
+  std::vector<ProxyDecision> decisions;
+};
+
+/// The pre-engine ClockAuction::Run (no bisection), reproduced so the
+/// benchmark races identical round sequences. Returns final prices and
+/// decisions for the equivalence sanity check.
+LegacySweepResult RunLegacySweep(const ClockAuction& market,
+                                 pm::ThreadPool* pool, int max_rounds) {
+  const std::size_t num_pools = market.NumPools();
+  std::vector<pm::auction::BidderProxy> proxies;
+  proxies.reserve(market.bids().size());
+  for (const pm::bid::Bid& b : market.bids()) proxies.emplace_back(&b);
+  const std::unique_ptr<pm::auction::IncrementPolicy> policy =
+      pm::auction::MakeRelativeCappedPolicy(kAlpha, kDelta, kStepFloor);
+  std::vector<double> prices = market.reserve_prices();
+  std::vector<ProxyDecision> decisions;
+  std::vector<double> excess;
+  std::vector<double> normalized(num_pools, 0.0);
+  std::vector<double> step(num_pools, 0.0);
+  for (int round = 0; round < max_rounds; ++round) {
+    LegacyCollectDemand(proxies, market.bids(), market.supply(), prices,
+                        pool, decisions, excess);
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      normalized[r] = excess[r] / std::max(market.supply()[r], 1.0);
+    }
+    if (std::all_of(normalized.begin(), normalized.end(),
+                    [](double z) { return z <= 1e-9; })) {
+      break;
+    }
+    policy->ComputeStep(normalized, prices, step);
+    for (std::size_t r = 0; r < num_pools; ++r) {
+      if (normalized[r] > 1e-9 && step[r] <= 0.0) step[r] = kStepFloor;
+      prices[r] += step[r];
+    }
+  }
+  return LegacySweepResult{std::move(prices), std::move(decisions)};
+}
+
+ClockAuctionConfig SweepConfig(pm::ThreadPool* pool = nullptr) {
+  ClockAuctionConfig config;
+  config.alpha = kAlpha;
+  config.delta = kDelta;
+  config.max_rounds = kSweepRounds;
+  config.thread_pool = pool;
+  return config;
+}
+
+/// The 100-round price trajectory of the fixed sweep, so the collection
+/// benchmarks race the demand path itself over identical price sequences
+/// (the surrounding increment-policy arithmetic is shared by both paths
+/// and would only dilute the comparison).
+std::vector<std::vector<double>> SweepTrajectory(const ClockAuction& market) {
+  ClockAuctionConfig config = SweepConfig();
+  config.record_trajectory = true;
+  const ClockAuctionResult r = market.Run(config);
+  std::vector<std::vector<double>> prices;
+  prices.reserve(r.trajectory.size());
+  for (const pm::auction::RoundRecord& rec : r.trajectory) {
+    prices.push_back(rec.prices);
+  }
+  return prices;
+}
+
+// ------------------------------------------------------- sweep benchmarks --
+
+void BM_SweepCollect100x100_Legacy(benchmark::State& state) {
+  const ClockAuction market = MakeSweepMarket(100, 100, 7);
+  const std::vector<std::vector<double>> trajectory =
+      SweepTrajectory(market);
+  std::vector<pm::auction::BidderProxy> proxies;
+  for (const pm::bid::Bid& b : market.bids()) proxies.emplace_back(&b);
+  std::vector<ProxyDecision> decisions;
+  std::vector<double> excess;
+  for (auto _ : state) {
+    for (const std::vector<double>& prices : trajectory) {
+      LegacyCollectDemand(proxies, market.bids(), market.supply(), prices,
+                          nullptr, decisions, excess);
+      benchmark::DoNotOptimize(excess.data());
+    }
+  }
+  state.counters["rounds"] = static_cast<double>(trajectory.size());
+}
+BENCHMARK(BM_SweepCollect100x100_Legacy)->Unit(benchmark::kMillisecond);
+
+void BM_SweepCollect100x100_Arena(benchmark::State& state) {
+  const ClockAuction market = MakeSweepMarket(100, 100, 7);
+  const std::vector<std::vector<double>> trajectory =
+      SweepTrajectory(market);
+  const DemandEngine& engine = market.engine();
+  DemandEngine::Workspace ws;
+  for (auto _ : state) {
+    for (const std::vector<double>& prices : trajectory) {
+      engine.CollectDemand(prices, nullptr, ws);
+      benchmark::DoNotOptimize(ws.excess().data());
+    }
+  }
+  state.counters["rounds"] = static_cast<double>(trajectory.size());
+}
+BENCHMARK(BM_SweepCollect100x100_Arena)->Unit(benchmark::kMillisecond);
+
+void BM_SweepEndToEnd_Legacy(benchmark::State& state) {
+  const ClockAuction market = MakeSweepMarket(100, 100, 7);
+  for (auto _ : state) {
+    const LegacySweepResult r =
+        RunLegacySweep(market, nullptr, kSweepRounds);
+    benchmark::DoNotOptimize(r.prices.data());
+  }
+}
+BENCHMARK(BM_SweepEndToEnd_Legacy)->Unit(benchmark::kMillisecond);
+
+void BM_SweepEndToEnd_Arena(benchmark::State& state) {
+  const ClockAuction market = MakeSweepMarket(100, 100, 7);
+  for (auto _ : state) {
+    const ClockAuctionResult r = market.Run(SweepConfig());
+    benchmark::DoNotOptimize(r.prices.data());
+  }
+}
+BENCHMARK(BM_SweepEndToEnd_Arena)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- probe benchmarks --
+
+void BM_Probe(benchmark::State& state, bool incremental) {
+  const int touched = static_cast<int>(state.range(0));
+  const ClockAuction market = MakeDenseMarket(2000, 100, 4, 4, 11);
+  const DemandEngine& engine = market.engine();
+  DemandEngine::Workspace ws;
+  std::vector<double> prices(market.NumPools(), 1.0);
+  engine.CollectDemand(prices, nullptr, ws);
+  double bump = 1e-4;
+  for (auto _ : state) {
+    for (int r = 0; r < touched; ++r) prices[static_cast<std::size_t>(r)] += bump;
+    bump = -bump;  // Oscillate so prices stay bounded across iterations.
+    if (!incremental) ws.Reset();
+    engine.CollectDemand(prices, nullptr, ws);
+    benchmark::DoNotOptimize(ws.decisions().data());
+  }
+  state.counters["pools_touched"] = touched;
+  state.counters["bundles_total"] =
+      static_cast<double>(engine.NumBundles());
+}
+void BM_Probe_Full(benchmark::State& state) { BM_Probe(state, false); }
+void BM_Probe_Incremental(benchmark::State& state) { BM_Probe(state, true); }
+BENCHMARK(BM_Probe_Full)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Probe_Incremental)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------ thread benchmarks --
+
+void BM_FullCollect_Threads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const ClockAuction market = MakeDenseMarket(20000, 100, 4, 4, 13);
+  const DemandEngine& engine = market.engine();
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+  DemandEngine::Workspace ws;
+  const std::vector<double> prices(market.NumPools(), 1.0);
+  for (auto _ : state) {
+    ws.Reset();
+    engine.CollectDemand(prices, pool.get(), ws);
+    benchmark::DoNotOptimize(ws.decisions().data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_FullCollect_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------------ JSON output --
+
+double MedianMs(const std::function<void()>& fn, int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Direct median-of-N harness, written to BENCH_demand_engine.json so the
+/// perf trajectory has a machine-readable anchor per PR.
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  // 1. The acceptance sweep: 100 bidders × 100 pools × 100 fixed rounds.
+  // The headline metric is the demand-collection path itself over the
+  // sweep's price trajectory; end-to-end auction numbers (which share
+  // the increment-policy arithmetic between both paths) are reported
+  // alongside.
+  const ClockAuction sweep = MakeSweepMarket(100, 100, 7);
+  const LegacySweepResult legacy_result =
+      RunLegacySweep(sweep, nullptr, kSweepRounds);
+  const ClockAuctionResult arena_result = sweep.Run(SweepConfig());
+  // Incremental rounds update excess by decision diffs, whose re-
+  // associated sums can drift from the legacy serial recomputation by
+  // ulps; decisions must match exactly, prices to ~1e-9.
+  double max_price_diff = 0.0;
+  for (std::size_t r = 0; r < legacy_result.prices.size(); ++r) {
+    max_price_diff =
+        std::max(max_price_diff, std::abs(legacy_result.prices[r] -
+                                          arena_result.prices[r]));
+  }
+  bool decisions_identical =
+      legacy_result.decisions.size() == arena_result.decisions.size();
+  for (std::size_t u = 0; decisions_identical &&
+                          u < legacy_result.decisions.size();
+       ++u) {
+    decisions_identical = legacy_result.decisions[u].bundle_index ==
+                          arena_result.decisions[u].bundle_index;
+  }
+  const bool equivalent = decisions_identical && max_price_diff <= 1e-9;
+  const std::vector<std::vector<double>> trajectory =
+      SweepTrajectory(sweep);
+  std::vector<pm::auction::BidderProxy> proxies;
+  for (const pm::bid::Bid& b : sweep.bids()) proxies.emplace_back(&b);
+  std::vector<ProxyDecision> legacy_decisions;
+  std::vector<double> legacy_excess;
+  const double legacy_collect_ms = MedianMs(
+      [&] {
+        for (const std::vector<double>& prices : trajectory) {
+          LegacyCollectDemand(proxies, sweep.bids(), sweep.supply(),
+                              prices, nullptr, legacy_decisions,
+                              legacy_excess);
+          benchmark::DoNotOptimize(legacy_excess.data());
+        }
+      },
+      25);
+  DemandEngine::Workspace sweep_ws;
+  const double arena_collect_ms = MedianMs(
+      [&] {
+        for (const std::vector<double>& prices : trajectory) {
+          sweep.engine().CollectDemand(prices, nullptr, sweep_ws);
+          benchmark::DoNotOptimize(sweep_ws.excess().data());
+        }
+      },
+      25);
+  const double legacy_ms = MedianMs(
+      [&] {
+        benchmark::DoNotOptimize(
+            RunLegacySweep(sweep, nullptr, kSweepRounds).prices.data());
+      },
+      15);
+  const double arena_ms = MedianMs(
+      [&] {
+        const ClockAuctionResult r = sweep.Run(SweepConfig());
+        benchmark::DoNotOptimize(r.prices.data());
+      },
+      15);
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"demand_engine\",\n"
+               "  \"sweep_100x100\": {\n"
+               "    \"rounds\": %d,\n"
+               "    \"legacy_collect_ms\": %.4f,\n"
+               "    \"arena_collect_ms\": %.4f,\n"
+               "    \"collect_speedup\": %.2f,\n"
+               "    \"legacy_end_to_end_ms\": %.4f,\n"
+               "    \"arena_end_to_end_ms\": %.4f,\n"
+               "    \"end_to_end_speedup\": %.2f,\n"
+               "    \"decisions_identical\": %s,\n"
+               "    \"max_price_diff\": %.3e\n  },\n",
+               kSweepRounds, legacy_collect_ms, arena_collect_ms,
+               legacy_collect_ms / arena_collect_ms, legacy_ms, arena_ms,
+               legacy_ms / arena_ms, decisions_identical ? "true" : "false",
+               max_price_diff);
+
+  // 2. Probe cost vs pools touched (sublinear-in-bundles evidence).
+  const ClockAuction dense = MakeDenseMarket(2000, 100, 4, 4, 11);
+  const DemandEngine& engine = dense.engine();
+  std::fprintf(f, "  \"probes\": [\n");
+  const int touched_counts[] = {1, 10, 100};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const int touched = touched_counts[i];
+    DemandEngine::Workspace ws;
+    std::vector<double> prices(dense.NumPools(), 1.0);
+    engine.CollectDemand(prices, nullptr, ws);
+    double bump = 1e-4;
+    auto move_prices = [&] {
+      for (int r = 0; r < touched; ++r) {
+        prices[static_cast<std::size_t>(r)] += bump;
+      }
+      bump = -bump;
+    };
+    const double full_ms = MedianMs(
+        [&] {
+          move_prices();
+          ws.Reset();
+          engine.CollectDemand(prices, nullptr, ws);
+        },
+        200);
+    const double incremental_ms = MedianMs(
+        [&] {
+          move_prices();
+          engine.CollectDemand(prices, nullptr, ws);
+        },
+        200);
+    std::fprintf(f,
+                 "    {\"pools_touched\": %d, \"bundles_total\": %zu, "
+                 "\"full_us\": %.3f, \"incremental_us\": %.3f, "
+                 "\"speedup\": %.2f}%s\n",
+                 touched, engine.NumBundles(), full_ms * 1000.0,
+                 incremental_ms * 1000.0, full_ms / incremental_ms,
+                 i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  // 3. Thread scaling of full collections.
+  const ClockAuction big = MakeDenseMarket(20000, 100, 4, 4, 13);
+  std::fprintf(f, "  \"thread_scaling\": [\n");
+  const std::size_t thread_counts[] = {1, 2, 4, 8, 16};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::size_t threads = thread_counts[i];
+    std::unique_ptr<pm::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+    DemandEngine::Workspace ws;
+    const std::vector<double> prices(big.NumPools(), 1.0);
+    const double ms = MedianMs(
+        [&] {
+          ws.Reset();
+          big.engine().CollectDemand(prices, pool.get(), ws);
+        },
+        15);
+    std::fprintf(f, "    {\"threads\": %zu, \"full_collect_ms\": %.4f}%s\n",
+                 threads, ms, i + 1 < 5 ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf(
+      "wrote %s (collect speedup %.2fx, end-to-end %.2fx, outcomes %s)\n",
+      path, legacy_collect_ms / arena_collect_ms, legacy_ms / arena_ms,
+      equivalent ? "equivalent" : "DIVERGED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteJson("BENCH_demand_engine.json");
+  return 0;
+}

@@ -99,6 +99,9 @@ BENCHMARK(BM_ClockAuction_Users)
     ->Arg(400)
     ->Arg(800)
     ->Arg(1600)
+    ->Arg(6400)
+    ->Arg(25600)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ClockAuction_Pools(benchmark::State& state) {

@@ -1,7 +1,6 @@
 #include "auction/clock_auction.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/check.h"
 #include "common/types.h"
@@ -42,45 +41,29 @@ bool AllNonPositive(std::span<const double> z, double eps) {
 
 }  // namespace
 
+DemandEngine ClockAuction::BuildEngine(const std::vector<bid::Bid>& bids,
+                                       const std::vector<double>& supply,
+                                       const std::vector<double>& reserve) {
+  PM_CHECK_MSG(supply.size() == reserve.size(),
+               "supply and reserve vectors must have equal size, got "
+                   << supply.size() << " vs " << reserve.size());
+  for (std::size_t r = 0; r < supply.size(); ++r) {
+    PM_CHECK_MSG(supply[r] >= 0.0, "negative supply in pool " << r);
+    PM_CHECK_MSG(reserve[r] >= 0.0,
+                 "negative reserve price in pool " << r);
+  }
+  const std::string problem = bid::ValidateBids(bids, supply.size());
+  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
+  return DemandEngine(bids, supply);
+}
+
 ClockAuction::ClockAuction(std::vector<bid::Bid> bids,
                            std::vector<double> supply,
                            std::vector<double> reserve_prices)
     : bids_(std::move(bids)),
       supply_(std::move(supply)),
-      reserve_(std::move(reserve_prices)) {
-  PM_CHECK_MSG(supply_.size() == reserve_.size(),
-               "supply and reserve vectors must have equal size, got "
-                   << supply_.size() << " vs " << reserve_.size());
-  for (std::size_t r = 0; r < supply_.size(); ++r) {
-    PM_CHECK_MSG(supply_[r] >= 0.0, "negative supply in pool " << r);
-    PM_CHECK_MSG(reserve_[r] >= 0.0,
-                 "negative reserve price in pool " << r);
-  }
-  const std::string problem = bid::ValidateBids(bids_, supply_.size());
-  PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
-  proxies_.reserve(bids_.size());
-  for (const bid::Bid& b : bids_) proxies_.emplace_back(&b);
-}
-
-void ClockAuction::CollectDemand(std::span<const double> prices,
-                                 ThreadPool* pool,
-                                 std::vector<ProxyDecision>& decisions,
-                                 std::vector<double>& excess) const {
-  decisions.resize(proxies_.size());
-  ParallelFor(pool, 0, proxies_.size(), [&](std::size_t u) {
-    decisions[u] = proxies_[u].Evaluate(prices);
-  });
-  excess.assign(supply_.size(), 0.0);
-  for (std::size_t u = 0; u < proxies_.size(); ++u) {
-    if (!decisions[u].Active()) continue;
-    const bid::Bundle& chosen =
-        bids_[u].bundles[static_cast<std::size_t>(decisions[u].bundle_index)];
-    bid::AccumulateInto(chosen, excess);
-  }
-  for (std::size_t r = 0; r < supply_.size(); ++r) {
-    excess[r] -= supply_[r];
-  }
-}
+      reserve_(std::move(reserve_prices)),
+      engine_(BuildEngine(bids_, supply_, reserve_)) {}
 
 ClockAuctionResult ClockAuction::Run(
     const ClockAuctionConfig& config) const {
@@ -107,6 +90,19 @@ ClockAuctionResult ClockAuction::Run(
   result.prices = reserve_;
   std::vector<double> normalized(num_pools, 0.0);
   std::vector<double> step(num_pools, 0.0);
+  DemandEngine::Workspace ws;
+
+  auto collect = [&](std::span<const double> prices) {
+    // Full arena sweep on the first call, incremental re-evaluation (only
+    // bidders touching a moved pool) on every later round and probe.
+    engine_.CollectDemand(prices, config.thread_pool, ws);
+    result.demand_evaluations += static_cast<long long>(bids_.size());
+  };
+  auto finalize = [&] {
+    result.decisions = ws.decisions();
+    result.excess = ws.excess();
+    result.proxies_reevaluated = ws.proxies_evaluated();
+  };
 
   auto normalize = [&](std::span<const double> raw) {
     if (!config.normalize_excess) {
@@ -118,18 +114,17 @@ ClockAuctionResult ClockAuction::Run(
     }
   };
 
+  std::vector<double> probe_prices(num_pools);
   for (int round = 0; round < config.max_rounds; ++round) {
-    CollectDemand(result.prices, config.thread_pool, result.decisions,
-                  result.excess);
-    result.demand_evaluations +=
-        static_cast<long long>(proxies_.size());
+    collect(result.prices);
     result.rounds = round + 1;
-    normalize(result.excess);
+    normalize(ws.excess());
     if (config.record_trajectory) {
-      result.trajectory.push_back(RoundRecord{result.prices, result.excess});
+      result.trajectory.push_back(RoundRecord{result.prices, ws.excess()});
     }
     if (AllNonPositive(normalized, config.demand_eps)) {
       result.converged = true;
+      finalize();
       return result;
     }
     policy->ComputeStep(normalized, result.prices, step);
@@ -161,6 +156,7 @@ ClockAuctionResult ClockAuction::Run(
           }
         }
         result.converged = false;
+        finalize();
         return result;
       }
     }
@@ -174,23 +170,24 @@ ClockAuctionResult ClockAuction::Run(
 
     // Peek at the post-step demand; if the full step would terminate the
     // auction, bisect the step fraction to reduce overshoot: find a
-    // near-minimal λ ∈ (0, 1] with z(p + λ·g) ≤ 0.
-    std::vector<double> probe_prices(num_pools);
-    std::vector<ProxyDecision> probe_decisions;
-    std::vector<double> probe_excess;
+    // near-minimal λ ∈ (0, 1] with z(p + λ·g) ≤ 0. Each probe moves only
+    // the stepped pools, so the engine re-evaluates O(touched) proxies.
+    double ws_lambda = 0.0;   // λ the workspace currently reflects.
+    bool ws_cleared = false;  // Whether z(ws_lambda) ≤ 0.
     auto demand_at = [&](double lambda) {
       for (std::size_t r = 0; r < num_pools; ++r) {
         probe_prices[r] = result.prices[r] + lambda * step[r];
       }
-      CollectDemand(probe_prices, config.thread_pool, probe_decisions,
-                    probe_excess);
-      result.demand_evaluations +=
-          static_cast<long long>(proxies_.size());
-      normalize(probe_excess);
-      return AllNonPositive(normalized, config.demand_eps);
+      collect(probe_prices);
+      ws_lambda = lambda;
+      normalize(ws.excess());
+      ws_cleared = AllNonPositive(normalized, config.demand_eps);
+      return ws_cleared;
     };
     if (!demand_at(1.0)) {
-      // Full step still leaves excess demand: take it and continue.
+      // Full step still leaves excess demand: take it and continue. The
+      // next round's collect sees bit-identical prices (p + 1.0·g), so
+      // the engine's delta pass touches nothing and costs ~O(R).
       for (std::size_t r = 0; r < num_pools; ++r) {
         result.prices[r] += step[r];
       }
@@ -206,23 +203,29 @@ ClockAuctionResult ClockAuction::Run(
         lo = mid;
       }
     }
-    // Land on `hi`, the smallest probed step that clears.
-    const bool cleared = demand_at(hi);
-    PM_CHECK(cleared);
+    // Land on `hi`, the smallest probed step that clears. When the last
+    // probe already evaluated λ = hi (it cleared and tightened hi), its
+    // decisions and excess are reused as-is instead of re-running a
+    // demand collection.
+    if (ws_lambda != hi) {
+      const bool cleared = demand_at(hi);
+      PM_CHECK(cleared);
+    }
+    PM_CHECK(ws_cleared);
     result.prices = probe_prices;
-    result.decisions = probe_decisions;
-    result.excess = probe_excess;
     result.rounds += 1;
     if (config.record_trajectory) {
       result.trajectory.push_back(
-          RoundRecord{result.prices, result.excess});
+          RoundRecord{result.prices, ws.excess()});
     }
     result.converged = true;
+    finalize();
     return result;
   }
   // Round budget exhausted with excess demand remaining (possible with
   // traders, §III.C.3).
   result.converged = false;
+  finalize();
   return result;
 }
 

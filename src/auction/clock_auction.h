@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "auction/demand_engine.h"
 #include "auction/increment_policy.h"
 #include "auction/proxy.h"
 #include "bid/bid.h"
@@ -123,11 +124,19 @@ struct ClockAuctionResult {
   /// the unit of the paper's linear-scaling claim.
   long long demand_evaluations = 0;
 
+  /// Proxies the demand engine actually re-evaluated (argmin sweeps).
+  /// At most demand_evaluations; the gap is the incremental-re-evaluation
+  /// win — rounds and bisection probes that move prices in only a subset
+  /// of pools re-evaluate only the bidders touching those pools.
+  long long proxies_reevaluated = 0;
+
   /// Per-round history when record_trajectory was set.
   std::vector<RoundRecord> trajectory;
 };
 
-/// The auctioneer. Owns copies of the bids; proxies reference them.
+/// The auctioneer. Owns copies of the bids, compiled once into a
+/// DemandEngine arena that serves every demand collection (full sweeps at
+/// round 0, incremental re-evaluation afterwards).
 class ClockAuction {
  public:
   /// `supply` and `reserve_prices` are dense per-pool vectors of equal
@@ -136,7 +145,7 @@ class ClockAuction {
                std::vector<double> reserve_prices);
 
   /// Runs Algorithm 1. Idempotent: each call restarts from the reserve
-  /// prices.
+  /// prices with a fresh demand workspace.
   ClockAuctionResult Run(const ClockAuctionConfig& config) const;
 
   std::size_t NumUsers() const { return bids_.size(); }
@@ -145,17 +154,21 @@ class ClockAuction {
   const std::vector<double>& supply() const { return supply_; }
   const std::vector<double>& reserve_prices() const { return reserve_; }
 
+  /// The compiled demand engine (shared with the distributed auctioneer
+  /// and the benchmarks).
+  const DemandEngine& engine() const { return engine_; }
+
  private:
-  /// Evaluates all proxies at `prices` into `decisions` and accumulates
-  /// raw excess demand z = Σ x_u − s into `excess`.
-  void CollectDemand(std::span<const double> prices, ThreadPool* pool,
-                     std::vector<ProxyDecision>& decisions,
-                     std::vector<double>& excess) const;
+  /// Validates the inputs, then compiles the arena. Runs in the member
+  /// initializer list so `engine_` can be a value member.
+  static DemandEngine BuildEngine(const std::vector<bid::Bid>& bids,
+                                  const std::vector<double>& supply,
+                                  const std::vector<double>& reserve);
 
   std::vector<bid::Bid> bids_;
-  std::vector<BidderProxy> proxies_;
   std::vector<double> supply_;
   std::vector<double> reserve_;
+  DemandEngine engine_;
 };
 
 }  // namespace pm::auction

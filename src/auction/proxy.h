@@ -29,15 +29,24 @@ struct ProxyDecision {
   bool Active() const { return bundle_index != kNothing; }
 };
 
-/// A deterministic proxy for one bid. Ties among equally cheap bundles are
-/// broken toward the lowest bundle index, making the whole auction
-/// reproducible.
+/// A deterministic proxy for one bid.
+///
+/// Tie-breaking contract: the LOWEST bundle index wins among bundles of
+/// equal cost within kPriceEps. Precisely, the scan keeps the current best
+/// and replaces it only when a later bundle is cheaper by MORE than
+/// kPriceEps, so exact duplicates and eps-close near-ties both resolve to
+/// the first (lowest-index) bundle. The same comparison runs inside the
+/// vector-π branch after the per-bundle affordability filter. DemandEngine
+/// replicates these comparisons bit-for-bit, which is what lets engine ↔
+/// oracle equivalence tests require identical decisions instead of
+/// tolerating tie flips (see tests/demand_engine_test.cpp).
 class BidderProxy {
  public:
   /// `bid` must outlive the proxy and already be validated.
   explicit BidderProxy(const bid::Bid* bid);
 
-  /// Evaluates G_u(p). Thread-safe (const, no mutation).
+  /// Evaluates G_u(p). Thread-safe (const, no mutation). Deterministic:
+  /// ties within kPriceEps resolve to the lowest bundle index.
   ProxyDecision Evaluate(std::span<const double> prices) const;
 
   const bid::Bid& bid() const { return *bid_; }

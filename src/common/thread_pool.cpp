@@ -1,7 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+#include <latch>
+#include <memory>
 
 #include "common/check.h"
 
@@ -24,21 +27,32 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::Submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
-  std::future<void> fut = task.get_future();
+void ThreadPool::Post(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    PM_CHECK_MSG(!shutting_down_, "Submit after ThreadPool shutdown");
-    queue_.push_back(std::move(task));
+    PM_CHECK_MSG(!shutting_down_, "Post after ThreadPool shutdown");
+    queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> fut = done->get_future();
+  Post([done, fn = std::move(fn)] {
+    try {
+      fn();
+      done->set_value();
+    } catch (...) {
+      done->set_exception(std::current_exception());
+    }
+  });
   return fut;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
@@ -46,9 +60,46 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // Exceptions are captured into the packaged_task's future.
+    task();  // Post contract: must not throw.
   }
 }
+
+namespace {
+
+/// Shared state of one ParallelFor call. Heap-allocated and owned jointly
+/// by the caller and every helper task, so the latch outlives whichever
+/// participant touches it last.
+struct ParallelForState {
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::latch done;
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  explicit ParallelForState(std::ptrdiff_t helpers) : done(helpers) {}
+
+  /// Claims and runs chunks until the range is exhausted.
+  void Drain() {
+    for (;;) {
+      const std::size_t c =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t lo = begin + c * chunk;
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn) {
@@ -58,32 +109,29 @@ void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  // Split into one contiguous block per worker (demand evaluation per user
-  // is cheap and uniform enough that static partitioning wins over a
-  // finer-grained dynamic scheme).
-  const std::size_t blocks = std::min(pool->size(), count);
-  const std::size_t base = count / blocks;
-  const std::size_t extra = count % blocks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(blocks);
-  std::size_t lo = begin;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t len = base + (b < extra ? 1 : 0);
-    const std::size_t hi = lo + len;
-    futures.push_back(pool->Submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-    lo = hi;
+  // Chunks several times smaller than a per-worker split keep the workers
+  // load-balanced when iteration costs are uneven, while the atomic
+  // counter keeps claiming one chunk O(1).
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (8 * (pool->size() + 1)));
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  const std::size_t helpers =
+      std::min(pool->size(), num_chunks > 1 ? num_chunks - 1 : 0);
+  auto state = std::make_shared<ParallelForState>(
+      static_cast<std::ptrdiff_t>(helpers));
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->fn = &fn;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->Post([state] {
+      state->Drain();
+      state->done.count_down();
+    });
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  state->Drain();  // The caller works too instead of blocking idle.
+  state->done.wait();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace pm

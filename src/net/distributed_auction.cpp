@@ -5,7 +5,7 @@
 #include <memory>
 #include <thread>
 
-#include "auction/proxy.h"
+#include "auction/demand_engine.h"
 #include "common/check.h"
 #include "net/channel.h"
 #include "net/wire.h"
@@ -16,18 +16,20 @@ namespace {
 using Frame = std::vector<std::uint8_t>;
 
 /// One proxy node: hosts a shard of users, answers price announcements.
+/// The shard is compiled once into a DemandEngine arena; successive
+/// announcements are served incrementally (only users whose bundles touch
+/// a repriced pool re-run their argmin), with excess accumulation disabled
+/// — the auctioneer owns the excess.
 class ProxyNode {
  public:
   ProxyNode(std::uint32_t node_id, const std::vector<bid::Bid>* bids,
-            std::vector<std::uint32_t> users, Channel<Frame>* to_auctioneer)
+            std::vector<std::uint32_t> users, std::size_t num_pools,
+            Channel<Frame>* to_auctioneer)
       : node_id_(node_id),
-        bids_(bids),
         users_(std::move(users)),
+        engine_(*bids, users_, std::vector<double>(num_pools, 0.0)),
         to_auctioneer_(to_auctioneer) {
-    proxies_.reserve(users_.size());
-    for (std::uint32_t u : users_) {
-      proxies_.emplace_back(&(*bids_)[u]);
-    }
+    workspace_.set_want_excess(false);
   }
 
   Channel<Frame>& inbox() { return inbox_; }
@@ -53,15 +55,16 @@ class ProxyNode {
         ++decode_failures_;
         continue;
       }
+      engine_.CollectDemand(announce->prices, nullptr, workspace_);
       DemandReply reply;
       reply.round = announce->round;
       reply.node = node_id_;
       reply.decisions.reserve(users_.size());
+      const std::vector<auction::ProxyDecision>& decisions =
+          workspace_.decisions();
       for (std::size_t i = 0; i < users_.size(); ++i) {
-        const auction::ProxyDecision d =
-            proxies_[i].Evaluate(announce->prices);
-        reply.decisions.push_back(
-            WireDecision{users_[i], d.bundle_index, d.cost});
+        reply.decisions.push_back(WireDecision{
+            users_[i], decisions[i].bundle_index, decisions[i].cost});
       }
       to_auctioneer_->Push(Encode(reply));
     }
@@ -69,9 +72,9 @@ class ProxyNode {
 
  private:
   std::uint32_t node_id_;
-  const std::vector<bid::Bid>* bids_;
   std::vector<std::uint32_t> users_;
-  std::vector<auction::BidderProxy> proxies_;
+  auction::DemandEngine engine_;
+  auction::DemandEngine::Workspace workspace_;
   Channel<Frame> inbox_;
   Channel<Frame>* to_auctioneer_;
   std::atomic<long long> decode_failures_{0};
@@ -129,7 +132,7 @@ DistributedResult RunDistributedAuction(
   for (std::size_t n = 0; n < num_nodes; ++n) {
     nodes.push_back(std::make_unique<ProxyNode>(
         static_cast<std::uint32_t>(n), &bids, std::move(shards[n]),
-        &to_auctioneer));
+        num_pools, &to_auctioneer));
   }
   std::vector<std::thread> threads;
   threads.reserve(num_nodes);
@@ -148,10 +151,18 @@ DistributedResult RunDistributedAuction(
   const std::unique_ptr<auction::IncrementPolicy> policy =
       BuildPolicy(config.auction, num_pools);
 
+  // The auctioneer reuses the serial auction's compiled engine for excess
+  // bookkeeping: a full blocked accumulation on the first round, then
+  // decision-diff updates — the same deterministic arithmetic the serial
+  // engine applies, which keeps the two paths bit-identical.
+  const auction::DemandEngine& engine = auction.engine();
+
   auction::ClockAuctionResult& result = out.result;
   result.prices = auction.reserve_prices();
   result.decisions.assign(bids.size(), auction::ProxyDecision{});
   result.excess.assign(num_pools, 0.0);
+  std::vector<auction::ProxyDecision> prev_decisions;
+  std::vector<double> prev_prices;
   std::vector<double> normalized(num_pools, 0.0);
   std::vector<double> step(num_pools, 0.0);
 
@@ -181,19 +192,26 @@ DistributedResult RunDistributedAuction(
       }
       ++replies;
     }
-    // Accumulate excess demand in user order — replies arrive in
-    // nondeterministic order, and floating-point addition order must
-    // match the serial engine for bit-exact equivalence.
-    std::fill(result.excess.begin(), result.excess.end(), 0.0);
-    for (std::size_t u = 0; u < bids.size(); ++u) {
-      const auction::ProxyDecision& d = result.decisions[u];
-      if (!d.Active()) continue;
-      bid::AccumulateInto(
-          bids[u].bundles[static_cast<std::size_t>(d.bundle_index)],
-          result.excess);
+    // Replies arrive in nondeterministic order, but excess is derived
+    // from the assembled user-indexed decision vector with the engine's
+    // deterministic arithmetic: blocked accumulation on full rounds,
+    // ascending-user decision diffs on incremental ones. The full-vs-
+    // incremental branch mirrors DemandEngine's hybrid rule on the
+    // touched-pool count, keeping this path bit-exact with the serial
+    // engine round by round.
+    std::size_t touched = 0;
+    for (std::size_t r = 0; round > 0 && r < num_pools; ++r) {
+      if (result.prices[r] - prev_prices[r] != 0.0) ++touched;
     }
+    if (round == 0 ||
+        auction::DemandEngine::PrefersFullCollect(touched, num_pools)) {
+      engine.ExcessFromDecisions(result.decisions, nullptr, result.excess);
+    } else {
+      engine.UpdateExcess(prev_decisions, result.decisions, result.excess);
+    }
+    prev_decisions = result.decisions;
+    prev_prices = result.prices;
     for (std::size_t r = 0; r < num_pools; ++r) {
-      result.excess[r] -= auction.supply()[r];
       normalized[r] = config.auction.normalize_excess
                           ? result.excess[r] /
                                 std::max(auction.supply()[r], 1.0)

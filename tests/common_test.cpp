@@ -344,6 +344,66 @@ TEST(ParallelForTest, RethrowsFirstException) {
                std::runtime_error);
 }
 
+TEST(ThreadPoolTest, PostRunsFireAndForget) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::promise<void> all_done;
+  for (int i = 0; i < 64; ++i) {
+    pool.Post([&counter, &all_done] {
+      if (++counter == 64) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelForTest, ManyChunksCoverLargeRangeExactlyOnce) {
+  // A range far larger than the chunk size exercises the atomic-counter
+  // dispatch across many claim cycles (and the caller-participation
+  // path).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(100000);
+  ParallelFor(&pool, 0, touched.size(),
+              [&](std::size_t i) { ++touched[i]; });
+  for (const auto& t : touched) ASSERT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionDoesNotAbortOtherChunks) {
+  // An exception abandons the remainder of its own chunk only; every
+  // other chunk still runs before the rethrow reaches the caller.
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  bool threw = false;
+  try {
+    ParallelFor(&pool, 0, 10000, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first");
+      ++visited;
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  // Chunk 0 lost at most its own tail; all other chunks completed.
+  const std::size_t chunk_upper_bound = 10000 / 4;  // Conservative.
+  EXPECT_GE(static_cast<std::size_t>(visited.load()),
+            10000 - chunk_upper_bound);
+}
+
+TEST(ParallelForTest, RethrowsWithSingleIterationRange) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 7, 8,
+                  [](std::size_t) { throw std::runtime_error("solo"); }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, EmptyRangeWithReversedBoundsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 9, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 // ------------------------------------------------------------------ tables --
 
 TEST(TextTableTest, RendersAlignedColumns) {
