@@ -437,6 +437,11 @@ void WriteJson(const char* path) {
       15);
   std::fprintf(f,
                "{\n  \"benchmark\": \"demand_engine\",\n"
+               "  \"metadata\": {\n"
+               "    \"host_caveat\": \"container exposes a single vCPU: "
+               "the thread_scaling rows cannot show speedup here; re-run "
+               "on a multi-core host to record the trajectory (ROADMAP "
+               "open item)\"\n  },\n"
                "  \"sweep_100x100\": {\n"
                "    \"rounds\": %d,\n"
                "    \"legacy_collect_ms\": %.4f,\n"

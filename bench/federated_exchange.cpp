@@ -1,0 +1,181 @@
+// Federated-exchange scaling sweep: end-to-end epoch latency and auction
+// rounds/sec as the planet is sharded into more, smaller markets with the
+// same total bidder population. This is the scaling axis orthogonal to
+// bench_demand_engine's single-market speed axis: the demand arena makes
+// one market fast; sharding bounds how large any one market has to be.
+//
+// For each shard count the same total bidder population is split evenly
+// across shards (each shard gets its own generated world, scaled so
+// cluster density stays roughly constant), a few federated bids exercise
+// the router, and E epochs run twice — serially and on a thread pool.
+// On a single-vCPU container the pooled numbers cannot beat serial; the
+// JSON records that caveat in its metadata.
+//
+// Writes BENCH_federated_exchange.json (same style as
+// BENCH_demand_engine.json) to the working directory.
+//
+//   $ ./bench_federated_exchange [total_bidders] [epochs] [shards...]
+//   defaults: 10000 bidders, 2 epochs, shard counts 1 4 16
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "federation/federated_exchange.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct SweepResult {
+  std::size_t shards = 0;
+  int bidders_per_shard = 0;
+  int clusters_per_shard = 0;
+  std::size_t pools_total = 0;
+  double epoch_ms_serial = 0.0;
+  double epoch_ms_pooled = 0.0;
+  long long rounds_total = 0;
+  double rounds_per_sec = 0.0;
+  bool all_converged = true;
+};
+
+pm::federation::FederatedExchange BuildFederation(std::size_t shards,
+                                                  int bidders_per_shard,
+                                                  int clusters_per_shard,
+                                                  std::size_t num_threads) {
+  std::vector<pm::federation::ShardSpec> specs;
+  for (std::size_t k = 0; k < shards; ++k) {
+    pm::federation::ShardSpec spec;
+    spec.name = "shard-" + std::to_string(k);
+    spec.workload.num_teams = bidders_per_shard;
+    spec.workload.num_clusters = clusters_per_shard;
+    spec.market.auction.alpha = 0.4;
+    spec.market.auction.delta = 0.08;
+    spec.market.auction.max_rounds = 30000;
+    specs.push_back(std::move(spec));
+  }
+  pm::federation::FederationConfig config;
+  config.seed = 20090425;
+  config.num_threads = num_threads;
+  return pm::federation::FederatedExchange(std::move(specs), config);
+}
+
+/// Runs `epochs` epochs (each preceded by a few router-exercising
+/// federated bids) and returns mean epoch latency in ms.
+double RunEpochs(pm::federation::FederatedExchange& fed, int epochs,
+                 long long* rounds_total, bool* all_converged) {
+  fed.EndowFederatedTeam("bench-global", pm::Money::FromDollars(1000000));
+  const auto start = Clock::now();
+  for (int e = 0; e < epochs; ++e) {
+    for (int b = 0; b < 4; ++b) {
+      pm::federation::FederatedBid bid;
+      bid.team = "bench-global";
+      bid.tag = "epoch" + std::to_string(e) + "-" + std::to_string(b);
+      bid.quantity = pm::cluster::TaskShape{16.0, 64.0, 2.0};
+      bid.limit = 50000.0;
+      fed.SubmitFederatedBid(bid);
+    }
+    const pm::federation::FederationReport report = fed.RunEpoch();
+    for (const pm::federation::ShardEpochSummary& shard : report.shards) {
+      if (rounds_total != nullptr) *rounds_total += shard.report.rounds;
+      if (all_converged != nullptr) {
+        *all_converged = *all_converged && shard.report.converged;
+      }
+    }
+  }
+  return MillisSince(start) / epochs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int total_bidders = argc > 1 ? std::atoi(argv[1]) : 10000;
+  const int epochs = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
+  std::vector<std::size_t> shard_counts;
+  for (int i = 3; i < argc; ++i) {
+    shard_counts.push_back(
+        static_cast<std::size_t>(std::max(1, std::atoi(argv[i]))));
+  }
+  if (shard_counts.empty()) shard_counts = {1, 4, 16};
+
+  std::vector<SweepResult> results;
+  pm::TextTable table({"shards", "bidders/shard", "clusters/shard",
+                       "epoch ms (serial)", "epoch ms (pooled)",
+                       "rounds/s", "converged"});
+  for (const std::size_t shards : shard_counts) {
+    const int per_shard =
+        std::max(1, total_bidders / static_cast<int>(shards));
+    // Aim for team-per-cluster density near the paper's ~3, capped at 200
+    // clusters per shard to bound world-generation time; above the cap
+    // density grows with shard size instead.
+    const int clusters = std::min(200, std::max(4, per_shard / 3));
+    SweepResult r;
+    r.shards = shards;
+    r.bidders_per_shard = per_shard;
+    r.clusters_per_shard = clusters;
+    {
+      pm::federation::FederatedExchange fed =
+          BuildFederation(shards, per_shard, clusters, /*num_threads=*/0);
+      for (std::size_t k = 0; k < shards; ++k) {
+        r.pools_total += fed.ShardWorld(k).fleet.NumPools();
+      }
+      r.epoch_ms_serial =
+          RunEpochs(fed, epochs, &r.rounds_total, &r.all_converged);
+    }
+    {
+      pm::federation::FederatedExchange fed = BuildFederation(
+          shards, per_shard, clusters,
+          /*num_threads=*/std::min<std::size_t>(shards, 8));
+      r.epoch_ms_pooled = RunEpochs(fed, epochs, nullptr, nullptr);
+    }
+    r.rounds_per_sec = static_cast<double>(r.rounds_total) / epochs /
+                       (r.epoch_ms_serial / 1000.0);
+    results.push_back(r);
+    table.AddRow({std::to_string(r.shards),
+                  std::to_string(r.bidders_per_shard),
+                  std::to_string(r.clusters_per_shard),
+                  pm::FormatF(r.epoch_ms_serial, 1),
+                  pm::FormatF(r.epoch_ms_pooled, 1),
+                  pm::FormatF(r.rounds_per_sec, 1),
+                  r.all_converged ? "yes" : "NO"});
+    std::cout << "shards=" << r.shards << " done: serial "
+              << pm::FormatF(r.epoch_ms_serial, 1) << " ms/epoch, pooled "
+              << pm::FormatF(r.epoch_ms_pooled, 1) << " ms/epoch\n";
+  }
+  std::cout << '\n' << table.Render();
+
+  std::ofstream json("BENCH_federated_exchange.json");
+  json << "{\n  \"benchmark\": \"federated_exchange\",\n";
+  json << "  \"metadata\": {\n"
+       << "    \"total_bidders\": " << total_bidders << ",\n"
+       << "    \"epochs_per_config\": " << epochs << ",\n"
+       << "    \"host_caveat\": \"container exposes a single vCPU: pooled "
+          "(concurrent-shard) latencies cannot beat serial here; re-run on "
+          "a multi-core host to see the scaling trajectory\"\n"
+       << "  },\n";
+  json << "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    json << "    {\"shards\": " << r.shards
+         << ", \"bidders_per_shard\": " << r.bidders_per_shard
+         << ", \"clusters_per_shard\": " << r.clusters_per_shard
+         << ", \"pools_total\": " << r.pools_total
+         << ", \"epoch_ms_serial\": " << pm::FormatF(r.epoch_ms_serial, 3)
+         << ", \"epoch_ms_pooled\": " << pm::FormatF(r.epoch_ms_pooled, 3)
+         << ", \"rounds_total\": " << r.rounds_total
+         << ", \"rounds_per_sec\": " << pm::FormatF(r.rounds_per_sec, 1)
+         << ", \"all_converged\": " << (r.all_converged ? "true" : "false")
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_federated_exchange.json\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: configure + build, then the tier-1 test
+# line from ROADMAP.md plus a one-round smoke of every bench binary so
+# bench bit-rot is caught before it lands.
+#
+#   scripts/check.sh          # full gate (tier-1 + all bench smokes)
+#   scripts/check.sh --quick  # skip tests labelled `slow`
+#
+# Labels (defined in CMakeLists.txt): tier1 = every gtest suite,
+# bench-smoke = tiny bench runs, slow = anything over ~1 s.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK="-LE slow"
+fi
+
+cmake -B build -S .
+cmake --build build -j
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Tier-1: the correctness gate (ROADMAP.md "Tier-1 verify"). An explicit
+# job count: bare `ctest -j` needs CMake >= 3.29, newer than our minimum.
+ctest --test-dir build --output-on-failure -L tier1 ${QUICK} -j "${JOBS}"
+
+# Bench smokes: every bench binary must still run end to end.
+ctest --test-dir build --output-on-failure -L bench-smoke ${QUICK}

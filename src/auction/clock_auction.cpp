@@ -6,6 +6,23 @@
 #include "common/types.h"
 
 namespace pm::auction {
+
+std::string DistributedIncompatibility(const ClockAuctionConfig& config) {
+  if (config.intra_round_bisection) {
+    return "intra_round_bisection is serial-only: its demand probes are a "
+           "serial search that does not map onto the broadcast protocol";
+  }
+  if (config.thread_pool != nullptr) {
+    return "thread_pool is serial-only: the distributed engine already "
+           "fans demand collection out across proxy-node threads";
+  }
+  if (config.record_trajectory) {
+    return "record_trajectory is serial-only: the wire protocol does not "
+           "carry per-round trajectory frames";
+  }
+  return {};
+}
+
 namespace {
 
 /// Builds the configured increment policy.

@@ -92,6 +92,15 @@ struct ClockAuctionConfig {
   std::vector<double> price_caps;
 };
 
+/// Reports why `config` cannot run on the broadcast wire protocol
+/// (pm::net::RunDistributedAuction), or an empty string when it can.
+/// Serial-only knobs do not map onto the announce/reply protocol:
+/// intra-round bisection's demand probes are a serial search, the caller's
+/// thread pool would race the proxy-node threads, and trajectory recording
+/// is owned by the serial loop. Callers that stage a config for the wire
+/// path validate with this instead of silently dropping the knobs.
+std::string DistributedIncompatibility(const ClockAuctionConfig& config);
+
 /// Snapshot of one auction round (recorded when requested).
 struct RoundRecord {
   std::vector<double> prices;

@@ -108,6 +108,15 @@ std::vector<double> Fleet::CostVector() const {
   return v;
 }
 
+TaskShape Fleet::FreeShape(const std::string& cluster) const {
+  const Cluster& c = ClusterByName(cluster);
+  TaskShape shape;
+  for (ResourceKind kind : kAllResourceKinds) {
+    shape.Of(kind) = c.Free(kind);
+  }
+  return shape;
+}
+
 bool Fleet::AddJob(const std::string& cluster, const Job& job) {
   return ClusterByName(cluster).AddJob(job, policy_);
 }

@@ -59,6 +59,9 @@ class Fleet {
   /// Dense per-pool unit cost c(r).
   std::vector<double> CostVector() const;
 
+  /// One cluster's free capacity (headroom) as a TaskShape.
+  TaskShape FreeShape(const std::string& cluster) const;
+
   /// Places a new job in a cluster. Returns false (and leaves the fleet
   /// unchanged) if it does not fit.
   bool AddJob(const std::string& cluster, const Job& job);

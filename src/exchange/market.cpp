@@ -5,6 +5,7 @@
 
 #include "auction/system_check.h"
 #include "common/check.h"
+#include "net/distributed_auction.h"
 
 namespace pm::exchange {
 namespace {
@@ -61,13 +62,20 @@ Market::Market(cluster::Fleet* fleet,
                   : std::shared_ptr<const reserve::WeightingFunction>(
                         reserve::MakeExp2Weighting())),
       ledger_(),
-      accounts_(&ledger_) {
+      accounts_(&ledger_),
+      rng_(RandomStream::Substream(config_.seed, 0)) {
   PM_CHECK(fleet_ != nullptr && agents_ != nullptr);
   PM_CHECK_MSG(fixed_prices_.size() == fleet_->NumPools(),
                "fixed prices must cover every pool");
   PM_CHECK_MSG(config_.supply_fraction > 0.0 &&
                    config_.supply_fraction <= 1.0,
                "supply fraction must be in (0, 1]");
+  if (config_.distributed_proxy_nodes > 0) {
+    const std::string incompatible =
+        auction::DistributedIncompatibility(config_.auction);
+    PM_CHECK_MSG(incompatible.empty(),
+                 "distributed market: " << incompatible);
+  }
   // §I quota bootstrap: every team starts entitled to exactly what it
   // already runs, and its usage is charged accordingly.
   const PoolRegistry& registry = fleet_->registry();
@@ -91,6 +99,16 @@ std::vector<double> Market::CurrentReservePrices() const {
   return pricer_.PriceFleet(*fleet_);
 }
 
+void Market::SubmitExternalBid(ExternalBid bid) {
+  PM_CHECK_MSG(!bid.team.empty(), "external bid needs a billing team");
+  external_.push_back(std::move(bid));
+}
+
+void Market::EndowTeam(const std::string& team, Money amount,
+                       std::string memo) {
+  accounts_.Endow(team, amount, std::move(memo));
+}
+
 Market::CollectedBids Market::CollectBids(
     const std::vector<double>& reserve,
     const std::vector<double>& utilization,
@@ -110,15 +128,46 @@ Market::CollectedBids Market::CollectBids(
     collected.per_agent[a] = bids.size();
     for (std::size_t i = 0; i < bids.size(); ++i) {
       // Budget discipline at the gate: a buyer's limit may not exceed its
-      // budget (strategies already clamp; enforce anyway).
+      // budget (strategies already clamp; enforce anyway). The vector-π
+      // entries are what the mechanism reads when present, so they get
+      // the same clamp.
       if (bids[i].limit > view.budget) bids[i].limit = view.budget;
+      for (double& limit : bids[i].bundle_limits) {
+        if (limit > view.budget) limit = view.budget;
+      }
       const std::string problem =
           bid::ValidateBid(bids[i], fleet_->NumPools());
       if (!problem.empty()) continue;  // Malformed bids never reach the auction.
-      collected.origin.emplace_back(a, i);
+      collected.origin.push_back(BidOrigin{a, i, agent.profile().name});
       collected.bids.push_back(std::move(bids[i]));
     }
   }
+  // External (federation-routed) bids join after the resident agents', in
+  // submission order, under the same budget gate. The clamp must cover
+  // the vector-π extension too — bundle_limits, when present, are what
+  // the mechanism reads, so clamping only the scalar would let an
+  // external bid spend past its budget.
+  for (ExternalBid& external : external_) {
+    const double budget = accounts_.BudgetOf(external.team).ToDouble();
+    if (external.bid.limit > budget) external.bid.limit = budget;
+    for (double& limit : external.bid.bundle_limits) {
+      if (limit > budget) limit = budget;
+    }
+    const std::string problem =
+        bid::ValidateBid(external.bid, fleet_->NumPools());
+    if (!problem.empty()) {
+      // Rejected (typically a buy whose limit clamped to a zero budget):
+      // counted so the federation can see routed parts that never reached
+      // the auction.
+      ++collected.external_rejected;
+      continue;
+    }
+    BidOrigin origin;
+    origin.team = external.team;
+    collected.origin.push_back(std::move(origin));
+    collected.bids.push_back(std::move(external.bid));
+  }
+  external_.clear();
   bid::AssignUserIds(collected.bids);
   return collected;
 }
@@ -158,10 +207,24 @@ AuctionReport Market::RunAuction() {
   CollectedBids collected =
       CollectBids(report.reserve_prices, report.pre_utilization, supply);
   report.num_bids = collected.bids.size();
+  report.external_rejected = collected.external_rejected;
 
   auction::ClockAuction auction(collected.bids, supply,
                                 report.reserve_prices);
-  const auction::ClockAuctionResult result = auction.Run(config_.auction);
+  auction::ClockAuctionResult result;
+  if (config_.distributed_proxy_nodes > 0) {
+    // Wire path: the same mechanism behind pm::net proxy nodes.
+    net::DistributedConfig dist;
+    dist.num_proxy_nodes = config_.distributed_proxy_nodes;
+    dist.auction = config_.auction;
+    net::DistributedResult distributed =
+        net::RunDistributedAuction(auction, dist);
+    result = std::move(distributed.result);
+    report.transport_messages = distributed.transport.messages_sent;
+    report.transport_bytes = distributed.transport.bytes_sent;
+  } else {
+    result = auction.Run(config_.auction);
+  }
   report.rounds = result.rounds;
   report.converged = result.converged;
   report.demand_evaluations = result.demand_evaluations;
@@ -186,8 +249,7 @@ AuctionReport Market::RunAuction() {
   // Money: winners pay (or are paid by) the operator treasury.
   for (const auction::Award& award : settlement.awards) {
     const bid::Bid& b = collected.bids[award.user];
-    const auto [agent_index, local_index] = collected.origin[award.user];
-    const std::string& team = (*agents_)[agent_index].profile().name;
+    const std::string& team = collected.origin[award.user].team;
     report.awards.push_back(AwardRecord{team, b.name, award.bundle_index,
                                         award.payment, award.premium});
     const Money amount = Money::FromDollarsRounded(std::abs(award.payment));
@@ -221,9 +283,10 @@ AuctionReport Market::RunAuction() {
     outcomes[a].resize(collected.per_agent[a]);
   }
   for (const auction::Award& award : settlement.awards) {
-    const auto [agent_index, local_index] = collected.origin[award.user];
-    if (local_index < outcomes[agent_index].size()) {
-      outcomes[agent_index][local_index] = agents::BidOutcome{
+    const BidOrigin& origin = collected.origin[award.user];
+    if (origin.IsExternal()) continue;  // No resident agent to notify.
+    if (origin.local < outcomes[origin.agent].size()) {
+      outcomes[origin.agent][origin.local] = agents::BidOutcome{
           true, award.bundle_index, award.payment};
     }
   }
@@ -244,8 +307,7 @@ void Market::RecordTrades(const CollectedBids& collected,
   const PoolRegistry& registry = fleet_->registry();
   for (const auction::Award& award : settlement.awards) {
     const bid::Bid& b = collected.bids[award.user];
-    const auto [agent_index, local_index] = collected.origin[award.user];
-    const std::string& team = (*agents_)[agent_index].profile().name;
+    const std::string& team = collected.origin[award.user].team;
     const bid::Bundle& bundle =
         b.bundles[static_cast<std::size_t>(award.bundle_index)];
     for (const bid::BundleItem& item : bundle.items()) {
@@ -268,9 +330,8 @@ void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
   const PoolRegistry& registry = fleet_->registry();
   for (const auction::Award& award : settlement.awards) {
     const bid::Bid& b = collected.bids[award.user];
-    const auto [agent_index, local_index] = collected.origin[award.user];
-    agents::TeamAgent& agent = (*agents_)[agent_index];
-    const std::string& team = agent.profile().name;
+    const BidOrigin& origin = collected.origin[award.user];
+    const std::string& team = origin.team;
     const bid::Bundle& bundle =
         b.bundles[static_cast<std::size_t>(award.bundle_index)];
 
@@ -284,9 +345,10 @@ void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
       }
     }
 
-    if (IsArbitrageBid(b.name)) {
+    if (IsArbitrageBid(b.name) && !origin.IsExternal()) {
       // Arbitrage trades move quota, not jobs: adjust the warehouse.
-      std::vector<double>& holdings = agent.mutable_holdings();
+      std::vector<double>& holdings =
+          (*agents_)[origin.agent].mutable_holdings();
       holdings.resize(registry.size(), 0.0);
       for (const bid::BundleItem& item : bundle.items()) {
         holdings[item.pool] =

@@ -23,6 +23,7 @@
 #include "auction/clock_auction.h"
 #include "cluster/fleet.h"
 #include "cluster/quota.h"
+#include "common/rng.h"
 #include "exchange/accounts.h"
 #include "exchange/endowment.h"
 #include "exchange/report.h"
@@ -60,6 +61,25 @@ struct MarketConfig {
   /// Per-task caps used when materializing won quota into jobs (tasks are
   /// split so they fit real machines).
   cluster::TaskShape max_task_shape{8.0, 32.0, 4.0};
+
+  /// Seed of the market's private random stream (exposed via rng()).
+  /// The core auction round is fully deterministic and draws nothing from
+  /// it; the stream exists for market-scoped stochastic extensions
+  /// (operator tooling, stochastic admission policies) so they never have
+  /// to mint their own generator. Give every co-resident market its own
+  /// seed — a federated exchange derives one per shard — so whatever does
+  /// draw from the streams stays independent across markets.
+  std::uint64_t seed = 0x5eedULL;
+
+  /// When > 0, every binding auction runs over the pm::net wire protocol
+  /// behind this many proxy nodes instead of the in-process serial engine
+  /// (bit-identical by construction — distribution changes where the work
+  /// runs, not the mechanism). Requires a distributed-compatible auction
+  /// config: the constructor CHECKs
+  /// auction::DistributedIncompatibility(auction).empty().
+  /// ComputePreliminaryPrices stays serial — it is a non-binding local
+  /// simulation either way.
+  std::size_t distributed_proxy_nodes = 0;
 };
 
 /// The periodic market over one fleet and one team population.
@@ -73,6 +93,27 @@ class Market {
   /// Runs one binding auction round end-to-end and returns its report
   /// (also appended to History()).
   AuctionReport RunAuction();
+
+  /// A bid submitted from outside the market's own agent population — the
+  /// federation router's cross-market parts, or any front end accepting
+  /// bids on behalf of remote teams. `team` is the billing identity;
+  /// `bid.name` should follow the "<team>/<tag>" convention so awards can
+  /// be mapped back. The bid is queued and joins the next RunAuction after
+  /// the resident agents' bids (submission order preserved); it settles
+  /// through the normal path — quota moves, jobs materialize, money flows
+  /// through `team`'s account. Buy limits are clamped to the team's
+  /// budget, so fund the team first (EndowTeam).
+  struct ExternalBid {
+    std::string team;
+    bid::Bid bid;
+  };
+  void SubmitExternalBid(ExternalBid bid);
+
+  /// Number of external bids currently queued for the next auction.
+  std::size_t PendingExternalBids() const { return external_.size(); }
+
+  /// Mints budget for a team (resident or external) ahead of an auction.
+  void EndowTeam(const std::string& team, Money amount, std::string memo);
 
   /// Non-binding price simulation on an explicit bid set: what the
   /// front end shows while the bid window is open. User ids are assigned;
@@ -94,6 +135,10 @@ class Market {
   const cluster::Fleet& fleet() const { return *fleet_; }
   const std::vector<double>& fixed_prices() const { return fixed_prices_; }
 
+  /// Fraction of free capacity offered for sale each round (capacity
+  /// snapshots taken by routing layers must scale by this).
+  double supply_fraction() const { return config_.supply_fraction; }
+
   /// The §I quota registry: entitlements granted/released by settled
   /// trades, usage charged/refunded as jobs come and go. Teams start
   /// entitled to exactly what they already run. Mutable access lets
@@ -104,14 +149,37 @@ class Market {
   /// Number of auctions run so far.
   int AuctionCount() const { return static_cast<int>(history_.size()); }
 
+  /// The market's private random stream (derived from MarketConfig::seed;
+  /// independent of every agent's stream). Market-scoped stochastic
+  /// policies draw from here so that co-resident markets never share
+  /// generator state.
+  RandomStream& rng() { return rng_; }
+
+  /// The seed this market was constructed with.
+  std::uint64_t seed() const { return config_.seed; }
+
  private:
+  /// Where a collected bid came from: a resident agent (index + position
+  /// in its batch, for outcome fan-back) or an external submission
+  /// (agent == kExternalOrigin). `team` is always the billing identity.
+  struct BidOrigin {
+    static constexpr std::size_t kExternalOrigin =
+        static_cast<std::size_t>(-1);
+    std::size_t agent = kExternalOrigin;
+    std::size_t local = 0;
+    std::string team;
+
+    bool IsExternal() const { return agent == kExternalOrigin; }
+  };
+
   struct CollectedBids {
     std::vector<bid::Bid> bids;
-    /// For bid i: which agent produced it and its index within that
-    /// agent's batch.
-    std::vector<std::pair<std::size_t, std::size_t>> origin;
+    /// For bid i: its origin (index-aligned with `bids`).
+    std::vector<BidOrigin> origin;
     /// Per-agent count of bids (for outcome fan-back).
     std::vector<std::size_t> per_agent;
+    /// External bids that failed validation at the gate (reported).
+    std::size_t external_rejected = 0;
   };
 
   CollectedBids CollectBids(const std::vector<double>& reserve,
@@ -138,6 +206,8 @@ class Market {
   Ledger ledger_;
   MarketAccounts accounts_;
   cluster::QuotaTable quota_;
+  RandomStream rng_;
+  std::vector<ExternalBid> external_;  // Queued for the next auction.
   std::vector<AuctionReport> history_;
   bool endowed_ = false;
   cluster::JobId next_job_id_ = 1'000'000;  // Jobs created by the market.

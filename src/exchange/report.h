@@ -55,9 +55,18 @@ struct AuctionReport {
   // Auction mechanics.
   std::size_t num_bids = 0;
   std::size_t num_winners = 0;
+  /// External (federation-routed) bids rejected at the budget/validation
+  /// gate and therefore never seen by the auction.
+  std::size_t external_rejected = 0;
   int rounds = 0;
   bool converged = false;
   long long demand_evaluations = 0;
+
+  // Wire traffic when the round ran behind pm::net proxy nodes
+  // (MarketConfig::distributed_proxy_nodes > 0); zero on the in-process
+  // serial path.
+  long long transport_messages = 0;
+  long long transport_bytes = 0;
 
   // Outcome.
   std::vector<double> settled_prices;

@@ -1,0 +1,164 @@
+#include "federation/federated_exchange.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pm::federation {
+
+std::uint64_t FederatedExchange::ShardWorkloadSeed(
+    std::uint64_t federation_seed, std::size_t shard) {
+  // One SplitMix64 stream per shard, decorrelated by the golden-ratio
+  // increment — the same expansion the RNG layer uses for seeding.
+  SplitMix64 mix(federation_seed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) + 1)));
+  return mix.Next();
+}
+
+std::uint64_t FederatedExchange::ShardMarketSeed(
+    std::uint64_t federation_seed, std::size_t shard) {
+  SplitMix64 mix(federation_seed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) + 1)));
+  mix.Next();  // Skip the workload seed.
+  return mix.Next();
+}
+
+FederatedExchange::FederatedExchange(std::vector<ShardSpec> specs,
+                                     FederationConfig config)
+    : config_(std::move(config)) {
+  PM_CHECK_MSG(!specs.empty(), "federation needs at least one shard");
+  shards_.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    ShardSpec& spec = specs[k];
+    PM_CHECK_MSG(!spec.name.empty(), "shard " << k << " needs a name");
+    for (std::size_t j = 0; j < k; ++j) {
+      PM_CHECK_MSG(shards_[j]->name != spec.name,
+                   "duplicate shard name '" << spec.name << "'");
+    }
+    spec.workload.seed = ShardWorkloadSeed(config_.seed, k);
+    spec.market.seed = ShardMarketSeed(config_.seed, k);
+    // The wire path is a federation-level decision; reject a per-shard
+    // setting rather than silently overwriting it.
+    PM_CHECK_MSG(spec.market.distributed_proxy_nodes == 0,
+                 "set FederationConfig::proxy_nodes_per_shard, not "
+                 "ShardSpec::market.distributed_proxy_nodes");
+    spec.market.distributed_proxy_nodes = config_.proxy_nodes_per_shard;
+    // Aggregate-init: World has no default constructor (Fleet is built
+    // whole by the generator).
+    auto shard = std::unique_ptr<Shard>(
+        new Shard{spec.name, agents::GenerateWorld(spec.workload), nullptr});
+    shard->market = std::make_unique<exchange::Market>(
+        &shard->world.fleet, &shard->world.agents,
+        shard->world.fixed_prices, spec.market);
+    shards_.push_back(std::move(shard));
+  }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+const std::string& FederatedExchange::ShardName(std::size_t shard) const {
+  PM_CHECK(shard < shards_.size());
+  return shards_[shard]->name;
+}
+
+exchange::Market& FederatedExchange::ShardMarket(std::size_t shard) {
+  PM_CHECK(shard < shards_.size());
+  return *shards_[shard]->market;
+}
+
+const exchange::Market& FederatedExchange::ShardMarket(
+    std::size_t shard) const {
+  PM_CHECK(shard < shards_.size());
+  return *shards_[shard]->market;
+}
+
+const agents::World& FederatedExchange::ShardWorld(std::size_t shard) const {
+  PM_CHECK(shard < shards_.size());
+  return shards_[shard]->world;
+}
+
+std::vector<ShardView> FederatedExchange::BuildShardViews() const {
+  std::vector<ShardView> views;
+  views.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ShardView view;
+    view.name = shard->name;
+    view.registry = &shard->world.fleet.registry();
+    view.reserve_prices = shard->market->CurrentReservePrices();
+    // What the shard's auction will actually sell, not raw headroom: the
+    // market only offers supply_fraction of free capacity each round.
+    view.free_capacity = shard->world.fleet.FreeVector();
+    for (double& units : view.free_capacity) {
+      units *= shard->market->supply_fraction();
+    }
+    view.fixed_prices = shard->market->fixed_prices();
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+void FederatedExchange::EndowFederatedTeam(const std::string& team,
+                                           Money per_shard_budget) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->market->EndowTeam(team, per_shard_budget,
+                             "federation endowment");
+  }
+}
+
+void FederatedExchange::SubmitFederatedBid(FederatedBid bid) {
+  // Validate here, not inside RunEpoch: a bad bid discovered mid-epoch
+  // would either wedge the queue (router throws before the clear) or
+  // leave earlier routed parts half-submitted to shard markets.
+  PM_CHECK_MSG(!bid.team.empty(), "federated bid needs a billing team");
+  if (!bid.home_shard.empty()) {
+    bool known = false;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      known = known || shard->name == bid.home_shard;
+    }
+    PM_CHECK_MSG(known, "unknown home shard '" << bid.home_shard << "'");
+  }
+  pending_.push_back(std::move(bid));
+}
+
+FederationReport FederatedExchange::RunEpoch() {
+  const int epoch = EpochCount();
+
+  // 1. Snapshot + route. Routing reads a coherent pre-auction snapshot of
+  // every shard; the queued federated bids become per-shard external bids.
+  // Skipped entirely when nothing is pending — the snapshot costs a full
+  // reserve-pricing pass per shard, which RunAuction repeats anyway.
+  RoutingResult routing;
+  if (!pending_.empty()) {
+    MarketRouter router(config_.router, BuildShardViews());
+    routing = router.Route(pending_);
+    pending_.clear();
+    for (const RoutedBid& routed : routing.routed) {
+      shards_[routed.shard]->market->SubmitExternalBid(
+          exchange::Market::ExternalBid{routed.team, routed.bid});
+    }
+  }
+
+  // 2. Clear every shard. Shards share no mutable state, so the rounds
+  // run concurrently; each shard's work is sequential within the shard,
+  // which keeps results bit-identical across thread counts.
+  std::vector<ShardEpochSummary> summaries(shards_.size());
+  const auto run_shard = [&](std::size_t k) {
+    summaries[k].shard = k;
+    summaries[k].name = shards_[k]->name;
+    summaries[k].report = shards_[k]->market->RunAuction();
+  };
+  if (pool_ != nullptr) {
+    ParallelFor(pool_.get(), 0, shards_.size(), run_shard);
+  } else {
+    for (std::size_t k = 0; k < shards_.size(); ++k) run_shard(k);
+  }
+
+  // 3. Merge into the planet-wide report.
+  history_.push_back(BuildFederationReport(epoch, std::move(summaries),
+                                           std::move(routing)));
+  return history_.back();
+}
+
+}  // namespace pm::federation

@@ -1,0 +1,130 @@
+// planetmarket: the planet-wide federated exchange.
+//
+// The paper provisions compute across *planet-wide clusters*; a single
+// Market clears one fleet. FederatedExchange fronts N per-cluster market
+// shards — each a full exchange::Market with its own fleet, team
+// population, ledger, reserve pricer, and arena-compiled DemandEngine —
+// and adds the thin federation layer on top:
+//
+//   demand  ──► MarketRouter places federation-level bids onto shards
+//               (affinity / cheapest / split / mirrored, with spill-over
+//               when a shard's reserve-weighted price runs hot);
+//   clearing ─► every shard runs its clock auction concurrently on a
+//               ThreadPool (or serially — bit-identical either way, since
+//               shards share no mutable state);
+//   reporting ► per-shard reports merge into one planet-wide
+//               FederationReport (federation/report.h).
+//
+// Determinism contract: shard k's world and market draw their seeds from
+// ShardWorkloadSeed/ShardMarketSeed(config.seed, k), every shard's round
+// is sequential within the shard, and shards are independent — so a
+// federated epoch is bit-identical across thread counts, across reruns
+// with the same seeds, and (per shard) to running that shard's
+// Market::RunAuction standalone with the same bids and seeds. Shards can
+// also run behind pm::net proxy nodes (proxy_nodes_per_shard), which
+// changes where the demand evaluation work runs, not the mechanism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/workload_gen.h"
+#include "common/thread_pool.h"
+#include "exchange/market.h"
+#include "federation/report.h"
+#include "federation/router.h"
+
+namespace pm::federation {
+
+/// One shard's recipe: a synthetic world plus the market over it. The
+/// workload and market seeds are overridden with federation-derived
+/// streams (see ShardWorkloadSeed) so shards never share RNG state, and
+/// `market.distributed_proxy_nodes` must be left at 0 — the wire path is
+/// configured federation-wide via FederationConfig::proxy_nodes_per_shard
+/// (construction fails loudly otherwise).
+struct ShardSpec {
+  std::string name;
+  agents::WorkloadConfig workload;
+  exchange::MarketConfig market;
+};
+
+/// Federation-level configuration.
+struct FederationConfig {
+  /// Base seed; shard k's workload and market seeds derive from it.
+  std::uint64_t seed = 20090425;
+
+  RouterConfig router;
+
+  /// Worker threads for concurrent shard auctions; 0 or 1 runs shards
+  /// serially inline. Results are identical either way.
+  std::size_t num_threads = 0;
+
+  /// When > 0, every shard's binding auctions run over the pm::net wire
+  /// protocol behind this many proxy nodes. Requires each ShardSpec's
+  /// auction config to be distributed-compatible (no intra-round
+  /// bisection, thread pool, or trajectory recording) — construction
+  /// fails loudly otherwise.
+  std::size_t proxy_nodes_per_shard = 0;
+};
+
+/// N sharded markets behind one planet-wide exchange.
+class FederatedExchange {
+ public:
+  FederatedExchange(std::vector<ShardSpec> specs, FederationConfig config);
+
+  /// Deterministic per-shard seed derivation, exposed so a shard's world
+  /// and market can be reconstructed standalone (the bit-identical
+  /// equivalence contract of tests/federation_test.cpp).
+  static std::uint64_t ShardWorkloadSeed(std::uint64_t federation_seed,
+                                         std::size_t shard);
+  static std::uint64_t ShardMarketSeed(std::uint64_t federation_seed,
+                                       std::size_t shard);
+
+  std::size_t NumShards() const { return shards_.size(); }
+  const std::string& ShardName(std::size_t shard) const;
+  exchange::Market& ShardMarket(std::size_t shard);
+  const exchange::Market& ShardMarket(std::size_t shard) const;
+  const agents::World& ShardWorld(std::size_t shard) const;
+
+  /// The router's snapshot of every shard (current reserve prices, free
+  /// capacity, fixed prices).
+  std::vector<ShardView> BuildShardViews() const;
+
+  /// Mints budget for a planet-wide team in every shard's local market
+  /// (local ledgers are authoritative; cross-shard budget transfers are a
+  /// follow-up — see docs/federation.md).
+  void EndowFederatedTeam(const std::string& team, Money per_shard_budget);
+
+  /// Queues a federation-level bid for the next epoch's routing pass.
+  void SubmitFederatedBid(FederatedBid bid);
+
+  std::size_t PendingFederatedBids() const { return pending_.size(); }
+
+  /// Runs one settlement epoch: snapshot shard views, route queued
+  /// federated bids, run every shard's auction round (concurrently when
+  /// configured), and merge the results. Returns the epoch's report (also
+  /// appended to History()).
+  FederationReport RunEpoch();
+
+  const std::vector<FederationReport>& History() const { return history_; }
+  int EpochCount() const { return static_cast<int>(history_.size()); }
+
+ private:
+  struct Shard {
+    std::string name;
+    agents::World world;
+    std::unique_ptr<exchange::Market> market;
+  };
+
+  FederationConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Stable addresses: each
+                                                // market points into its
+                                                // shard's world.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<FederatedBid> pending_;
+  std::vector<FederationReport> history_;
+};
+
+}  // namespace pm::federation

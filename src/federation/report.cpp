@@ -1,0 +1,88 @@
+#include "federation/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace pm::federation {
+
+FederationReport BuildFederationReport(
+    int epoch, std::vector<ShardEpochSummary> shards,
+    RoutingResult routing) {
+  FederationReport report;
+  report.epoch = epoch;
+  report.routing = std::move(routing.decisions);
+  report.routed = std::move(routing.routed);
+  report.routed_parts = report.routed.size();
+  for (const RouteDecision& decision : report.routing) {
+    if (decision.spilled) ++report.spilled_bids;
+  }
+
+  std::vector<double> planet_utilization;
+  for (ShardEpochSummary& shard : shards) {
+    const exchange::AuctionReport& r = shard.report;
+    report.total_bids += r.num_bids;
+    report.total_winners += r.num_winners;
+    report.rejected_parts += r.external_rejected;
+    report.total_moves += r.moves.size();
+    report.operator_revenue += r.operator_revenue;
+    report.demand_evaluations += r.demand_evaluations;
+    report.transport_messages += r.transport_messages;
+    report.transport_bytes += r.transport_bytes;
+    report.max_rounds = std::max(report.max_rounds, r.rounds);
+    report.all_converged = report.all_converged && r.converged;
+    planet_utilization.insert(planet_utilization.end(),
+                              r.post_utilization.begin(),
+                              r.post_utilization.end());
+  }
+  if (!planet_utilization.empty()) {
+    report.utilization_spread =
+        exchange::UtilizationSpread(planet_utilization);
+    for (int decile = 1; decile <= 9; ++decile) {
+      report.utilization_deciles.push_back(
+          stats::Quantile(planet_utilization, decile / 10.0));
+    }
+  }
+  report.shards = std::move(shards);
+  return report;
+}
+
+std::string RenderFederationSummary(const FederationReport& report) {
+  std::ostringstream os;
+  os << "=== federation epoch " << (report.epoch + 1) << " ===\n";
+  TextTable table({"shard", "bids", "won", "rounds", "conv", "revenue",
+                   "moves", "wire msgs"});
+  for (const ShardEpochSummary& shard : report.shards) {
+    const exchange::AuctionReport& r = shard.report;
+    table.AddRow({shard.name, std::to_string(r.num_bids),
+                  std::to_string(r.num_winners), std::to_string(r.rounds),
+                  r.converged ? "yes" : "NO",
+                  "$" + FormatF(r.operator_revenue, 2),
+                  std::to_string(r.moves.size()),
+                  std::to_string(r.transport_messages)});
+  }
+  table.AddRow({"planet", std::to_string(report.total_bids),
+                std::to_string(report.total_winners),
+                std::to_string(report.max_rounds),
+                report.all_converged ? "yes" : "NO",
+                "$" + FormatF(report.operator_revenue, 2),
+                std::to_string(report.total_moves),
+                std::to_string(report.transport_messages)});
+  os << table.Render();
+  os << "routing: " << report.routing.size() << " federated bids -> "
+     << report.routed_parts << " parts, " << report.spilled_bids
+     << " spilled, " << report.rejected_parts << " rejected at the gate\n";
+  os << "utilization spread " << FormatF(report.utilization_spread, 2)
+     << " pp";
+  if (!report.utilization_deciles.empty()) {
+    os << "; deciles";
+    for (double d : report.utilization_deciles) {
+      os << ' ' << FormatPct(d, 0);
+    }
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace pm::federation

@@ -1,0 +1,69 @@
+// planetmarket: the planet-wide reporting plane.
+//
+// One federated epoch clears N independent market shards; operators read
+// the planet through a single page, not N. FederationReport merges the
+// per-shard AuctionReports with the routing audit into planet-wide
+// aggregates — utilization percentiles across every pool on the planet,
+// total revenue and migrations, wire traffic when shards run behind proxy
+// nodes — reusing the stats/ and exchange/report machinery shard reports
+// are built from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exchange/report.h"
+#include "federation/router.h"
+#include "stats/descriptive.h"
+
+namespace pm::federation {
+
+/// One shard's slice of an epoch.
+struct ShardEpochSummary {
+  std::size_t shard = 0;
+  std::string name;
+  exchange::AuctionReport report;  // The shard's full auction report.
+};
+
+/// Everything recorded about one federated epoch.
+struct FederationReport {
+  int epoch = 0;
+
+  std::vector<ShardEpochSummary> shards;
+
+  // Routing audit: one decision per federated bid, plus the materialized
+  // cross-market parts (kept so tests and replays can re-inject them).
+  std::vector<RouteDecision> routing;
+  std::vector<RoutedBid> routed;
+
+  // Planet-wide aggregates.
+  std::size_t total_bids = 0;
+  std::size_t total_winners = 0;
+  std::size_t total_moves = 0;
+  std::size_t routed_parts = 0;   // Cross-market parts placed this epoch.
+  std::size_t rejected_parts = 0; // Routed parts the shard gate rejected
+                                  // (e.g. no budget in that shard).
+  std::size_t spilled_bids = 0;   // Federated bids re-routed off their
+                                  // preferred shard.
+  double operator_revenue = 0.0;
+  long long demand_evaluations = 0;
+  long long transport_messages = 0;  // Wire traffic (proxy-node shards).
+  long long transport_bytes = 0;
+  int max_rounds = 0;      // The slowest shard's round count.
+  bool all_converged = true;
+
+  // Fleet health across every pool on the planet, post-auction.
+  double utilization_spread = 0.0;          // exchange::UtilizationSpread.
+  std::vector<double> utilization_deciles;  // p10..p90 across all pools.
+};
+
+/// Merges per-shard summaries and the routing audit into one report.
+FederationReport BuildFederationReport(int epoch,
+                                       std::vector<ShardEpochSummary> shards,
+                                       RoutingResult routing);
+
+/// Renders the planet-wide summary page: one row per shard plus the
+/// aggregate block.
+std::string RenderFederationSummary(const FederationReport& report);
+
+}  // namespace pm::federation

@@ -109,8 +109,9 @@ std::unique_ptr<auction::IncrementPolicy> BuildPolicy(
 DistributedResult RunDistributedAuction(
     const auction::ClockAuction& auction, const DistributedConfig& config) {
   PM_CHECK_MSG(config.num_proxy_nodes >= 1, "need at least one proxy node");
-  PM_CHECK_MSG(!config.auction.intra_round_bisection,
-               "intra-round bisection is serial-only (see header)");
+  const std::string incompatible =
+      auction::DistributedIncompatibility(config.auction);
+  PM_CHECK_MSG(incompatible.empty(), incompatible);
 
   const std::vector<bid::Bid>& bids = auction.bids();
   const std::size_t num_pools = auction.NumPools();

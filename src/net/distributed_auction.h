@@ -26,8 +26,11 @@ struct DistributedConfig {
   /// Proxy processes; users are sharded round-robin across them.
   std::size_t num_proxy_nodes = 4;
 
-  /// Clock parameters (thread_pool, intra_round_bisection and
-  /// record_trajectory are ignored).
+  /// Clock parameters. Serial-only knobs are rejected, not dropped:
+  /// RunDistributedAuction CHECKs that
+  /// auction::DistributedIncompatibility(auction) is empty, so a config
+  /// with intra_round_bisection, thread_pool, or record_trajectory set
+  /// fails loudly instead of silently running something else.
   auction::ClockAuctionConfig auction;
 };
 

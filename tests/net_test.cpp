@@ -6,6 +6,7 @@
 
 #include "auction/settlement.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "net/channel.h"
 #include "net/distributed_auction.h"
 #include "net/serializer.h"
@@ -299,6 +300,25 @@ TEST(DistributedAuctionTest, RejectsBisection) {
   DistributedConfig dist;
   dist.auction.intra_round_bisection = true;
   EXPECT_THROW(RunDistributedAuction(auction, dist), pm::CheckFailure);
+}
+
+TEST(DistributedAuctionTest, RejectsSerialOnlyKnobsInsteadOfDroppingThem) {
+  // Regression: these knobs were silently ignored; now they fail loudly.
+  const auction::ClockAuction auction = RandomAuction(15, 5);
+  {
+    pm::ThreadPool pool(2);
+    DistributedConfig dist;
+    dist.auction.thread_pool = &pool;
+    EXPECT_THROW(RunDistributedAuction(auction, dist), pm::CheckFailure);
+  }
+  {
+    DistributedConfig dist;
+    dist.auction.record_trajectory = true;
+    EXPECT_THROW(RunDistributedAuction(auction, dist), pm::CheckFailure);
+  }
+  EXPECT_TRUE(
+      auction::DistributedIncompatibility(auction::ClockAuctionConfig{})
+          .empty());
 }
 
 }  // namespace
