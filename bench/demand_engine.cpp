@@ -28,6 +28,7 @@
 #include "auction/demand_engine.h"
 #include "auction/increment_policy.h"
 #include "auction/proxy.h"
+#include "common/bench_meta.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 
@@ -438,10 +439,9 @@ void WriteJson(const char* path) {
   std::fprintf(f,
                "{\n  \"benchmark\": \"demand_engine\",\n"
                "  \"metadata\": {\n"
-               "    \"host_caveat\": \"container exposes a single vCPU: "
-               "the thread_scaling rows cannot show speedup here; re-run "
-               "on a multi-core host to record the trajectory (ROADMAP "
-               "open item)\"\n  },\n"
+               "    \"host\": %s\n  },\n",
+               pm::HostMetadataJson().c_str());
+  std::fprintf(f,
                "  \"sweep_100x100\": {\n"
                "    \"rounds\": %d,\n"
                "    \"legacy_collect_ms\": %.4f,\n"

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_meta.h"
 #include "common/table.h"
 #include "federation/federated_exchange.h"
 
@@ -157,9 +158,7 @@ int main(int argc, char** argv) {
   json << "  \"metadata\": {\n"
        << "    \"total_bidders\": " << total_bidders << ",\n"
        << "    \"epochs_per_config\": " << epochs << ",\n"
-       << "    \"host_caveat\": \"container exposes a single vCPU: pooled "
-          "(concurrent-shard) latencies cannot beat serial here; re-run on "
-          "a multi-core host to see the scaling trajectory\"\n"
+       << "    \"host\": " << pm::HostMetadataJson() << "\n"
        << "  },\n";
   json << "  \"sweeps\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -3,13 +3,26 @@
 # line from ROADMAP.md plus a one-round smoke of every bench binary so
 # bench bit-rot is caught before it lands.
 #
-#   scripts/check.sh          # full gate (tier-1 + all bench smokes)
-#   scripts/check.sh --quick  # skip tests labelled `slow`
+#   scripts/check.sh             # full gate (tier-1 + all bench smokes)
+#   scripts/check.sh --quick     # skip tests labelled `slow`
+#   scripts/check.sh --sanitize  # tier-1 under ASan/UBSan (CMake preset
+#                                # asan-ubsan, build-sanitize/ tree)
 #
 # Labels (defined in CMakeLists.txt): tier1 = every gtest suite,
 # bench-smoke = tiny bench runs, slow = anything over ~1 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  # A separate build tree so the sanitized objects never mix with the
+  # release gate; any ASan/UBSan finding aborts its test (no recovery).
+  cmake --preset asan-ubsan
+  cmake --build build-sanitize -j
+  ctest --test-dir build-sanitize --output-on-failure -L tier1 -j "${JOBS}"
+  exit 0
+fi
 
 QUICK=""
 if [[ "${1:-}" == "--quick" ]]; then
@@ -18,8 +31,6 @@ fi
 
 cmake -B build -S .
 cmake --build build -j
-
-JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # Tier-1: the correctness gate (ROADMAP.md "Tier-1 verify"). An explicit
 # job count: bare `ctest -j` needs CMake >= 3.29, newer than our minimum.

@@ -36,6 +36,16 @@ double PriceLearner::BelievedCost(std::span<const std::size_t> pools,
   return cost;
 }
 
+void PriceLearner::ExtendBeliefs(std::span<const double> defaults) {
+  PM_CHECK_MSG(defaults.size() >= beliefs_.size(),
+               "defaults cover " << defaults.size()
+                                 << " pools, beliefs already track "
+                                 << beliefs_.size());
+  for (std::size_t r = beliefs_.size(); r < defaults.size(); ++r) {
+    beliefs_.push_back(defaults[r]);
+  }
+}
+
 void PriceLearner::Observe(std::span<const double> settled_prices) {
   PM_CHECK_MSG(settled_prices.size() == beliefs_.size(),
                "observed " << settled_prices.size()

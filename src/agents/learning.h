@@ -39,6 +39,15 @@ class PriceLearner {
   /// markup — call exactly once per observed auction.
   void Observe(std::span<const double> settled_prices);
 
+  /// Grows the belief vector to cover a larger pool space (the market's
+  /// pool registry is append-only, so existing ids keep their beliefs).
+  /// `defaults[r]` seeds the belief of each new pool r; `defaults` must
+  /// cover at least the current beliefs.
+  void ExtendBeliefs(std::span<const double> defaults);
+
+  /// Number of pools the learner tracks.
+  std::size_t NumPools() const { return beliefs_.size(); }
+
   /// Number of auctions observed so far.
   int ObservationCount() const { return observations_; }
 

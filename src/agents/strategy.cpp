@@ -328,6 +328,10 @@ class ArbitrageurStrategy final : public Strategy {
 
 }  // namespace
 
+bool IsArbitrageBidName(std::string_view bid_name) {
+  return bid_name.find("/arb-") != std::string_view::npos;
+}
+
 bid::Bundle BundleForCluster(const PoolRegistry& registry,
                              const std::string& cluster,
                              const cluster::TaskShape& delta) {

@@ -51,6 +51,14 @@ class Strategy {
 /// Factory for the canned strategies.
 std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind);
 
+/// The arbitrage naming contract shared by the resident Arbitrageur
+/// strategy, the federation's cross-shard ArbitrageAgent, and the
+/// exchange's settlement path: a bid whose name contains "/arb-" trades
+/// warehoused quota. For *resident* bidders the market adjusts the
+/// agent's warehouse instead of moving jobs; external (federation-routed)
+/// arbitrage settles physically — its warehouse is real placed jobs.
+bool IsArbitrageBidName(std::string_view bid_name);
+
 /// Helper shared by strategies and tests: the bundle a team of shape
 /// `delta` needs in `cluster` (one item per resource kind with nonzero
 /// demand), built against `registry`.

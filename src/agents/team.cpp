@@ -53,6 +53,12 @@ std::vector<bid::Bid> TeamAgent::MakeBids(const MarketView& view) {
   return strategy_->MakeBids(ctx);
 }
 
+void TeamAgent::ExtendPoolSpace(std::span<const double> fixed_prices) {
+  // Only the learner needs explicit growth; holdings_ is resized to the
+  // registry on demand by its consumers (strategy and settlement).
+  learner_.ExtendBeliefs(fixed_prices);
+}
+
 void TeamAgent::ObserveOutcome(std::span<const double> settled_prices,
                                const std::vector<BidOutcome>& outcomes) {
   learner_.Observe(settled_prices);

@@ -102,6 +102,12 @@ class TeamAgent {
   const PriceLearner& learner() const { return learner_; }
   RandomStream& rng() { return rng_; }
 
+  /// Grows the agent's per-pool state (price beliefs, warehouse) to cover
+  /// an enlarged pool registry — called by the market when a migrated
+  /// cluster is adopted. `fixed_prices[r]` seeds the belief of each new
+  /// pool.
+  void ExtendPoolSpace(std::span<const double> fixed_prices);
+
   /// Quota units the arbitrageur is currently warehousing, per pool.
   const std::vector<double>& holdings() const { return holdings_; }
   std::vector<double>& mutable_holdings() { return holdings_; }

@@ -44,6 +44,19 @@ std::optional<Job> Cluster::RemoveJob(JobId id) {
   return job;
 }
 
+void Cluster::RenumberJob(JobId from, JobId to) {
+  if (from == to) return;
+  auto it = jobs_.find(from);
+  PM_CHECK_MSG(it != jobs_.end(),
+               "cannot renumber unknown job " << from << " in " << name_);
+  PM_CHECK_MSG(jobs_.count(to) == 0,
+               "job id " << to << " already taken in " << name_);
+  PlacedJob placed = std::move(it->second);
+  jobs_.erase(it);
+  placed.job.id = to;
+  jobs_.emplace(to, std::move(placed));
+}
+
 std::vector<JobId> Cluster::JobIds() const {
   std::vector<const PlacedJob*> placed;
   placed.reserve(jobs_.size());

@@ -25,6 +25,11 @@ class Cluster {
                              const TaskShape& machine_capacity);
 
   const std::string& name() const { return name_; }
+
+  /// Relabels the cluster. Only safe while the cluster is detached from
+  /// any Fleet (names key a fleet's pool registry); the federation's
+  /// rebalancer uses it to qualify migrated clusters ("r03@region-1").
+  void SetName(std::string name) { name_ = std::move(name); }
   const std::vector<Machine>& machines() const { return machines_; }
   std::size_t NumMachines() const { return machines_.size(); }
 
@@ -34,6 +39,11 @@ class Cluster {
 
   /// Removes a job and frees its resources. Returns the job if present.
   std::optional<Job> RemoveJob(JobId id);
+
+  /// Re-keys a placed job without touching its placement — the migration
+  /// path uses it to move adopted jobs into the receiving market's job-id
+  /// space (job ids are only unique per market). `to` must be free.
+  void RenumberJob(JobId from, JobId to);
 
   /// Whether the given job currently runs here.
   bool HasJob(JobId id) const { return jobs_.count(id) > 0; }

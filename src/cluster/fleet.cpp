@@ -117,6 +117,26 @@ TaskShape Fleet::FreeShape(const std::string& cluster) const {
   return shape;
 }
 
+Cluster Fleet::ExtractCluster(const std::string& name) {
+  PM_CHECK_MSG(clusters_.size() > 1,
+               "cannot extract the fleet's last cluster");
+  const std::size_t index = IndexOf(name);
+  Cluster out = std::move(clusters_[index]);
+  clusters_.erase(clusters_.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+void Fleet::AdoptCluster(Cluster cluster) {
+  PM_CHECK_MSG(!HasCluster(cluster.name()),
+               "fleet already has a live cluster named '"
+                   << cluster.name() << "'");
+  for (ResourceKind kind : kAllResourceKinds) {
+    registry_.Intern(cluster.name(), kind);
+  }
+  clusters_.push_back(std::move(cluster));
+}
+
 bool Fleet::AddJob(const std::string& cluster, const Job& job) {
   return ClusterByName(cluster).AddJob(job, policy_);
 }

@@ -62,6 +62,18 @@ class Fleet {
   /// One cluster's free capacity (headroom) as a TaskShape.
   TaskShape FreeShape(const std::string& cluster) const;
 
+  /// Detaches a whole cluster — machines, jobs and all — for migration to
+  /// another fleet (the federation's rebalancing protocol). The cluster's
+  /// pools stay interned (PoolIds are stable for the market's lifetime)
+  /// but report zero capacity/usage until a cluster of the same name is
+  /// re-adopted. The fleet must keep at least one cluster.
+  Cluster ExtractCluster(const std::string& name);
+
+  /// Attaches a migrated cluster, interning its pools (idempotent when a
+  /// same-named cluster lived here before). The name must not collide
+  /// with a live cluster.
+  void AdoptCluster(Cluster cluster);
+
   /// Places a new job in a cluster. Returns false (and leaves the fleet
   /// unchanged) if it does not fit.
   bool AddJob(const std::string& cluster, const Job& job);

@@ -1,0 +1,72 @@
+#include "common/bench_meta.h"
+
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+#include <thread>
+
+namespace pm {
+namespace {
+
+std::string GitSha() {
+  // Benches run from the build directory, which lives inside the
+  // checkout; outside any repo (or without git) this degrades to
+  // "unknown" rather than failing the bench. `--dirty` marks artifacts
+  // produced from an uncommitted tree — the stamped commit alone would
+  // misattribute those numbers.
+  FILE* pipe = ::popen(
+      "git describe --always --dirty --abbrev=12 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buffer[64] = {0};
+  std::string sha;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    sha = buffer;
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+  }
+  ::pclose(pipe);
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string UtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (::gmtime_r(&now, &tm) == nullptr) return "unknown";
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+}  // namespace
+
+HostMetadata CollectHostMetadata() {
+  HostMetadata meta;
+  meta.hardware_concurrency = std::thread::hardware_concurrency();
+  // hardware_concurrency() == 0 means "unknown", not "one core": only a
+  // measured single core earns the caveat.
+  meta.single_vcpu = meta.hardware_concurrency == 1;
+  meta.git_sha = GitSha();
+  meta.timestamp_utc = UtcNow();
+  return meta;
+}
+
+std::string HostMetadataJson(const HostMetadata& meta) {
+  std::ostringstream os;
+  os << "{\"hardware_concurrency\": " << meta.hardware_concurrency
+     << ", \"single_vcpu\": " << (meta.single_vcpu ? "true" : "false")
+     << ", \"git_sha\": \"" << meta.git_sha << "\""
+     << ", \"timestamp_utc\": \"" << meta.timestamp_utc << "\"";
+  if (meta.single_vcpu) {
+    os << ", \"caveat\": \"single vCPU host: pooled/threaded timings "
+          "cannot beat serial here; re-run on a multi-core host\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string HostMetadataJson() {
+  return HostMetadataJson(CollectHostMetadata());
+}
+
+}  // namespace pm

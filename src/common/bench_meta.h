@@ -1,0 +1,35 @@
+// planetmarket: host metadata for benchmark artifacts.
+//
+// Every BENCH_*.json used to carry a hand-written "this container has one
+// vCPU" caveat that nothing verified. CollectHostMetadata records what is
+// actually true of the machine the bench ran on — core count, git SHA,
+// UTC timestamp — and derives the caveat from it, so a rerun on a real
+// multi-core host automatically sheds the warning (and the JSON says
+// which commit and when).
+#pragma once
+
+#include <string>
+
+namespace pm {
+
+/// What the bench host looked like at emission time.
+struct HostMetadata {
+  unsigned hardware_concurrency = 0;  // 0: unknown.
+  bool single_vcpu = false;  // True only for a *measured* single core.
+  std::string git_sha;        // "unknown" outside a git checkout.
+  std::string timestamp_utc;  // ISO-8601, e.g. "2026-07-26T12:34:56Z".
+};
+
+HostMetadata CollectHostMetadata();
+
+/// Renders the metadata as a JSON object (no trailing newline), e.g.
+///   {"hardware_concurrency": 8, "single_vcpu": false,
+///    "git_sha": "6e09b72", "timestamp_utc": "…"}
+/// plus a machine-derived "caveat" entry when the host is single-vCPU.
+/// Benchmarks embed it as the "host" key of their metadata block.
+std::string HostMetadataJson(const HostMetadata& meta);
+
+/// Convenience: CollectHostMetadata() rendered.
+std::string HostMetadataJson();
+
+}  // namespace pm

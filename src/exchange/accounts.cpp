@@ -38,6 +38,18 @@ std::string MarketAccounts::ChargeTeam(const std::string& team,
                            std::move(memo));
 }
 
+Money MarketAccounts::WithdrawAll(const std::string& team,
+                                  std::string memo) {
+  const Money balance = BudgetOf(team);
+  // Team accounts cannot actually go negative (they are created without
+  // overdraft and settlement pre-covers shortfalls); the IsNegative arm
+  // is defensive.
+  if (balance.IsZero() || balance.IsNegative()) return Money();
+  const std::string status = ChargeTeam(team, balance, std::move(memo));
+  PM_CHECK_MSG(status.empty(), "withdraw failed: " << status);
+  return balance;
+}
+
 std::string MarketAccounts::PayTeam(const std::string& team, Money amount,
                                     std::string memo) {
   return ledger_->Transfer(operator_, EnsureTeam(team), amount,

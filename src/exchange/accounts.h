@@ -37,6 +37,11 @@ class MarketAccounts {
   std::string PayTeam(const std::string& team, Money amount,
                       std::string memo);
 
+  /// Moves a team's entire remaining balance to the operator and returns
+  /// it — the federation treasury's end-of-epoch sweep. Zero (and no
+  /// journal entry) when the team has no account or no balance.
+  Money WithdrawAll(const std::string& team, std::string memo);
+
   const Ledger& ledger() const { return *ledger_; }
 
  private:

@@ -39,4 +39,19 @@ std::vector<Money> ComputeEndowments(
   return out;
 }
 
+std::vector<Money> SplitEvenly(Money total, std::size_t parts) {
+  PM_CHECK_MSG(parts > 0, "cannot split into zero parts");
+  PM_CHECK_MSG(!total.IsNegative(), "cannot split a negative amount");
+  const std::int64_t micros = total.micros();
+  const std::int64_t n = static_cast<std::int64_t>(parts);
+  const std::int64_t base = micros / n;
+  const std::int64_t extra = micros % n;
+  std::vector<Money> out;
+  out.reserve(parts);
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back(Money::FromMicros(base + (i < extra ? 1 : 0)));
+  }
+  return out;
+}
+
 }  // namespace pm::exchange

@@ -41,4 +41,11 @@ std::vector<Money> ComputeEndowments(
     const std::vector<agents::TeamAgent>& agents,
     std::span<const double> prices, const EndowmentPolicy& policy);
 
+/// Divides `total` into `parts` amounts that differ by at most one
+/// micro-dollar and sum to `total` exactly (the first `total mod parts`
+/// parts carry the extra micro). The federation's allowance push uses it
+/// to divide an underfunded team's remaining planet balance fairly
+/// across shards instead of letting shard 0 drain the pot.
+std::vector<Money> SplitEvenly(Money total, std::size_t parts);
+
 }  // namespace pm::exchange

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "agents/strategy.h"
 #include "auction/system_check.h"
 #include "common/check.h"
 #include "net/distributed_auction.h"
@@ -29,10 +30,6 @@ std::unordered_map<std::string, ClusterDelta> SplitByCluster(
     }
   }
   return deltas;
-}
-
-bool IsArbitrageBid(const std::string& bid_name) {
-  return bid_name.find("/arb-") != std::string::npos;
 }
 
 }  // namespace
@@ -78,19 +75,33 @@ Market::Market(cluster::Fleet* fleet,
   }
   // §I quota bootstrap: every team starts entitled to exactly what it
   // already runs, and its usage is charged accordingly.
-  const PoolRegistry& registry = fleet_->registry();
   for (const cluster::JobLocation& loc : fleet_->AllJobs()) {
     const cluster::Job* job =
         fleet_->ClusterByName(loc.cluster).FindJob(loc.job);
     PM_CHECK(job != nullptr);
-    const cluster::TaskShape demand = job->TotalDemand();
-    quota_.Charge(job->team, registry, loc.cluster, demand);
-    for (ResourceKind kind : kAllResourceKinds) {
-      const double amount = demand.Of(kind);
-      if (amount <= 0.0) continue;
-      const auto pool = registry.Find(PoolKey{loc.cluster, kind});
-      PM_CHECK(pool.has_value());
-      quota_.Grant(job->team, *pool, amount);
+    ApplyJobQuota(job->team, loc.cluster, job->TotalDemand(),
+                  /*add=*/true);
+  }
+}
+
+void Market::ApplyJobQuota(const std::string& team,
+                           const std::string& cluster,
+                           const cluster::TaskShape& demand, bool add) {
+  const PoolRegistry& registry = fleet_->registry();
+  if (add) {
+    quota_.Charge(team, registry, cluster, demand);
+  } else {
+    quota_.Refund(team, registry, cluster, demand);
+  }
+  for (ResourceKind kind : kAllResourceKinds) {
+    const double amount = demand.Of(kind);
+    if (amount <= 0.0) continue;
+    const auto pool = registry.Find(PoolKey{cluster, kind});
+    PM_CHECK(pool.has_value());
+    if (add) {
+      quota_.Grant(team, *pool, amount);
+    } else {
+      quota_.Release(team, *pool, amount);
     }
   }
 }
@@ -107,6 +118,65 @@ void Market::SubmitExternalBid(ExternalBid bid) {
 void Market::EndowTeam(const std::string& team, Money amount,
                        std::string memo) {
   accounts_.Endow(team, amount, std::move(memo));
+}
+
+Money Market::WithdrawTeam(const std::string& team, std::string memo) {
+  return accounts_.WithdrawAll(team, std::move(memo));
+}
+
+cluster::Cluster Market::ExtractCluster(const std::string& name) {
+  // Validate before touching the quota table: if the fleet-level check
+  // below were left to fail after the refunds, a rejected extraction
+  // would leave jobs running with no recorded quota.
+  PM_CHECK_MSG(fleet_->NumClusters() > 1,
+               "cannot extract the fleet's last cluster");
+  cluster::Cluster& cl = fleet_->ClusterByName(name);
+  // Undo the quota bootstrap for every job leaving with the cluster; the
+  // destination market re-applies it on adoption.
+  for (cluster::JobId id : cl.JobIds()) {
+    const cluster::Job* job = cl.FindJob(id);
+    PM_CHECK(job != nullptr);
+    ApplyJobQuota(job->team, name, job->TotalDemand(), /*add=*/false);
+  }
+  return fleet_->ExtractCluster(name);
+}
+
+void Market::AdoptCluster(cluster::Cluster cluster) {
+  const std::string name = cluster.name();
+  fleet_->AdoptCluster(std::move(cluster));
+  const PoolRegistry& registry = fleet_->registry();
+  // Grow per-pool market state to the enlarged registry. New pools enter
+  // at the operator's unit cost — the same pre-market baseline every
+  // other pool started from.
+  if (fixed_prices_.size() < registry.size()) {
+    const std::vector<double> costs = fleet_->CostVector();
+    for (std::size_t r = fixed_prices_.size(); r < registry.size(); ++r) {
+      fixed_prices_.push_back(costs[r]);
+    }
+  }
+  for (agents::TeamAgent& agent : *agents_) {
+    agent.ExtendPoolSpace(fixed_prices_);
+  }
+  // Re-key the incoming jobs into this market's id space: job ids are
+  // only unique per market, and a collision would corrupt fleet-level
+  // job lookups. The counter first jumps past every adopted id so no
+  // fresh id can land on a job still waiting to be renumbered.
+  // Placements are untouched.
+  cluster::Cluster& cl = fleet_->ClusterByName(name);
+  for (const cluster::JobId id : cl.JobIds()) {
+    next_job_id_ = std::max(next_job_id_, id + 1);
+  }
+  for (const cluster::JobId id : cl.JobIds()) {
+    cl.RenumberJob(id, next_job_id_++);
+  }
+  // Quota bootstrap for the adopted jobs (their teams may be foreign —
+  // administratively owned by another shard's population; the table
+  // tracks them all the same).
+  for (cluster::JobId id : cl.JobIds()) {
+    const cluster::Job* job = cl.FindJob(id);
+    PM_CHECK(job != nullptr);
+    ApplyJobQuota(job->team, name, job->TotalDemand(), /*add=*/true);
+  }
 }
 
 Market::CollectedBids Market::CollectBids(
@@ -312,6 +382,11 @@ void Market::RecordTrades(const CollectedBids& collected,
         b.bundles[static_cast<std::size_t>(award.bundle_index)];
     for (const bid::BundleItem& item : bundle.items()) {
       const PoolKey& key = registry.KeyOf(item.pool);
+      // A pool can outlive its cluster (migrated to another shard); such
+      // quota-only trades carry no live percentile, and a 0.0 sentinel
+      // would read as a real coldest-cluster rank in the Figure 7
+      // distributions — drop the sample instead.
+      if (!fleet_->HasCluster(key.cluster)) continue;
       TradeSample sample;
       sample.kind = key.kind;
       sample.is_bid = item.qty > 0.0;
@@ -345,7 +420,7 @@ void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
       }
     }
 
-    if (IsArbitrageBid(b.name) && !origin.IsExternal()) {
+    if (agents::IsArbitrageBidName(b.name) && !origin.IsExternal()) {
       // Arbitrage trades move quota, not jobs: adjust the warehouse.
       std::vector<double>& holdings =
           (*agents_)[origin.agent].mutable_holdings();
@@ -367,6 +442,10 @@ void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
           delta.sold.disk_tb <= 0.0) {
         continue;
       }
+      // The cluster may have migrated to another shard since the pools
+      // were interned: the quota release above still stands, but there
+      // is nothing physical to vacate here.
+      if (!fleet_->HasCluster(cluster_name)) continue;
       sold_from = cluster_name;
       // Remove this team's jobs in the cluster, largest first, until the
       // sold quantities are covered (whole-job granularity; slight
@@ -399,6 +478,12 @@ void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
     for (const auto& [cluster_name, delta] : deltas) {
       if (delta.bought.cpu <= 0.0 && delta.bought.ram_gb <= 0.0 &&
           delta.bought.disk_tb <= 0.0) {
+        continue;
+      }
+      // Quota won in a cluster that has since migrated away cannot
+      // materialize physically; count it with the bin-packing failures.
+      if (!fleet_->HasCluster(cluster_name)) {
+        ++report.placement_failures;
         continue;
       }
       bought_in = cluster_name;

@@ -115,6 +115,24 @@ class Market {
   /// Mints budget for a team (resident or external) ahead of an auction.
   void EndowTeam(const std::string& team, Money amount, std::string memo);
 
+  /// Withdraws a team's entire remaining budget back to the operator and
+  /// returns it — the federation treasury's end-of-epoch sweep.
+  Money WithdrawTeam(const std::string& team, std::string memo);
+
+  /// Detaches a whole cluster for migration to another shard's market
+  /// (the federation's fleet-transfer protocol): quota usage of its jobs
+  /// is refunded and their entitlements released here, then the cluster —
+  /// machines and jobs included — is extracted from the fleet. Its pools
+  /// stay interned at zero capacity.
+  cluster::Cluster ExtractCluster(const std::string& name);
+
+  /// Attaches a migrated cluster: the fleet interns its pools, per-pool
+  /// market state grows to match (fixed prices extend at the operator's
+  /// unit cost, every resident agent's price beliefs extend at those
+  /// prices), and the incoming jobs' usage and entitlements are charged
+  /// to their teams — the same bootstrap the constructor applies.
+  void AdoptCluster(cluster::Cluster cluster);
+
   /// Non-binding price simulation on an explicit bid set: what the
   /// front end shows while the bid window is open. User ids are assigned;
   /// no money moves, no jobs move, agents learn nothing.
@@ -181,6 +199,12 @@ class Market {
     /// External bids that failed validation at the gate (reported).
     std::size_t external_rejected = 0;
   };
+
+  /// The §I quota bootstrap for one job, shared by construction (every
+  /// fleet job), cluster adoption (add = true: Charge + Grant) and
+  /// cluster extraction (add = false: Refund + Release).
+  void ApplyJobQuota(const std::string& team, const std::string& cluster,
+                     const cluster::TaskShape& demand, bool add);
 
   CollectedBids CollectBids(const std::vector<double>& reserve,
                             const std::vector<double>& utilization,

@@ -1,0 +1,341 @@
+#include "federation/arbitrage.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace pm::federation {
+namespace {
+
+/// Kinds indexed 0..kNumResourceKinds-1 (matches the enum values).
+std::size_t KindIndex(ResourceKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+ArbitrageAgent::ArbitrageAgent(ArbitrageConfig config)
+    : config_(std::move(config)) {
+  PM_CHECK_MSG(!config_.team.empty(), "arbitrage agent needs a team name");
+  PM_CHECK_MSG(config_.min_spread > 0.0 && config_.min_margin >= 0.0,
+               "arbitrage thresholds must be positive");
+  PM_CHECK_MSG(config_.buy_fraction > 0.0 && config_.buy_fraction <= 1.0,
+               "buy_fraction must be in (0, 1]");
+  PM_CHECK_MSG(config_.sell_fraction > 0.0 && config_.sell_fraction <= 1.0,
+               "sell_fraction must be in (0, 1]");
+}
+
+double ArbitrageAgent::KindPrice(const exchange::AuctionReport& report,
+                                 const PoolRegistry& registry,
+                                 const std::vector<double>& capacity,
+                                 ResourceKind kind) {
+  std::vector<double> prices;
+  const std::size_t limit =
+      std::min(report.settled_prices.size(),
+               std::min(capacity.size(), registry.size()));
+  for (PoolId r = 0; r < limit; ++r) {
+    if (registry.KeyOf(r).kind != kind) continue;
+    if (capacity[r] <= 0.0) continue;  // Extracted clusters price nothing.
+    prices.push_back(report.settled_prices[r]);
+  }
+  if (prices.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return stats::Median(prices);
+}
+
+double ComputeClearingSpread(
+    const FederationReport& report,
+    const std::vector<const cluster::Fleet*>& fleets) {
+  PM_CHECK(report.shards.size() == fleets.size());
+  std::vector<std::vector<double>> capacities;
+  capacities.reserve(fleets.size());
+  for (const cluster::Fleet* fleet : fleets) {
+    capacities.push_back(fleet->CapacityVector());
+  }
+  double total = 0.0;
+  int kinds = 0;
+  for (ResourceKind kind : kAllResourceKinds) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    int priced = 0;
+    for (std::size_t k = 0; k < report.shards.size(); ++k) {
+      const double p = ArbitrageAgent::KindPrice(
+          report.shards[k].report, fleets[k]->registry(), capacities[k],
+          kind);
+      if (std::isnan(p) || p <= 0.0) continue;
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+      ++priced;
+    }
+    if (priced < 2) continue;
+    total += (hi - lo) / lo;
+    ++kinds;
+  }
+  return kinds > 0 ? total / kinds : 0.0;
+}
+
+std::vector<ArbitragePlan> ArbitrageAgent::PlanEpoch(
+    const FederationReport* prev, const std::vector<ShardView>& views,
+    const std::vector<const cluster::Fleet*>& fleets, int epoch) {
+  PM_CHECK(views.size() == fleets.size());
+  if (holdings_.size() < views.size()) holdings_.resize(views.size());
+  last_plans_.clear();
+  if (prev == nullptr || prev->shards.size() != views.size()) {
+    // First epoch (or the shard set changed shape): no price signal yet.
+    return last_plans_;
+  }
+
+  // Per-(shard, kind) clearing-price signals from the previous epoch.
+  std::vector<std::array<double, kNumResourceKinds>> signal(views.size());
+  for (std::size_t k = 0; k < views.size(); ++k) {
+    const std::vector<double> capacity = fleets[k]->CapacityVector();
+    for (ResourceKind kind : kAllResourceKinds) {
+      signal[k][KindIndex(kind)] = KindPrice(
+          prev->shards[k].report, fleets[k]->registry(), capacity, kind);
+    }
+  }
+
+  // Cross-shard mean price per kind: the sell-side reference. Selling is
+  // only price-convergent in shards quoting ABOVE the mean — releasing
+  // capacity into a below-mean shard would push its price further down
+  // and re-open the spread from the other side.
+  std::array<double, kNumResourceKinds> kind_mean;
+  for (ResourceKind kind : kAllResourceKinds) {
+    double total = 0.0;
+    int priced = 0;
+    for (std::size_t k = 0; k < views.size(); ++k) {
+      const double p = signal[k][KindIndex(kind)];
+      if (std::isnan(p) || p <= 0.0) continue;
+      total += p;
+      ++priced;
+    }
+    kind_mean[KindIndex(kind)] =
+        priced > 0 ? total / priced
+                   : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // Buy targets first (the decision, not yet the bids): per kind, the
+  // cheapest shard when the cross-shard spread clears min_spread.
+  std::array<std::size_t, kNumResourceKinds> buy_target;
+  std::array<double, kNumResourceKinds> buy_spread;
+  buy_target.fill(views.size());
+  buy_spread.fill(0.0);
+  for (ResourceKind kind : kAllResourceKinds) {
+    std::size_t cheap = views.size(), dear = views.size();
+    for (std::size_t k = 0; k < views.size(); ++k) {
+      const double p = signal[k][KindIndex(kind)];
+      if (std::isnan(p) || p <= 0.0) continue;
+      if (cheap == views.size() || p < signal[cheap][KindIndex(kind)]) {
+        cheap = k;
+      }
+      if (dear == views.size() || p > signal[dear][KindIndex(kind)]) {
+        dear = k;
+      }
+    }
+    if (cheap == views.size() || dear == views.size() || cheap == dear) {
+      continue;
+    }
+    const double price_cheap = signal[cheap][KindIndex(kind)];
+    const double price_dear = signal[dear][KindIndex(kind)];
+    const double spread = (price_dear - price_cheap) / price_cheap;
+    if (spread < config_.min_spread) continue;
+    buy_target[KindIndex(kind)] = cheap;
+    buy_spread[KindIndex(kind)] = spread;
+  }
+
+  // Sells: release warehoused capacity where the local price has risen
+  // past cost basis × (1 + min_margin) AND sits above the planet mean
+  // for the kind. One sell bid per shard, bundling every pool that
+  // clears both bars (ask = Σ qty·price·markdown). A shard being bought
+  // this epoch is deliberately NOT excluded: the simultaneous sell leg
+  // turns over old inventory at its locked-in margin while the buy
+  // restocks at the current price — a market-maker stance whose
+  // measured effect (bench/arbitrage_spread.cpp) is to damp the agent's
+  // own buy-side overshoot; suppressing it makes the spread series
+  // oscillate.
+  for (std::size_t k = 0; k < views.size(); ++k) {
+    std::vector<bid::BundleItem> items;
+    double ask = 0.0;
+    // Pool order is interning order: deterministic.
+    std::vector<PoolId> held;
+    held.reserve(holdings_[k].size());
+    for (const auto& [pool, holding] : holdings_[k]) held.push_back(pool);
+    std::sort(held.begin(), held.end());
+    for (const PoolId pool : held) {
+      const Holding& holding = holdings_[k].at(pool);
+      double qty = holding.units * config_.sell_fraction;
+      // Geometric metering alone would strand the tail of every holding
+      // below min_trade_units/sell_fraction forever; once the metered
+      // slice falls under the floor, drain the whole position instead.
+      if (qty < config_.min_trade_units) qty = holding.units;
+      if (qty < config_.min_trade_units) continue;
+      const ResourceKind kind = fleets[k]->registry().KeyOf(pool).kind;
+      const double price = signal[k][KindIndex(kind)];
+      if (std::isnan(price) || price <= 0.0) continue;
+      if (price < holding.basis * (1.0 + config_.min_margin)) continue;
+      if (price <
+          kind_mean[KindIndex(kind)] * config_.sell_gate_fraction) {
+        continue;
+      }
+      items.push_back(bid::BundleItem{pool, -qty});
+      ask += qty * price * config_.sell_markdown;
+    }
+    if (items.empty()) continue;
+    ArbitragePlan plan;
+    plan.shard = k;
+    plan.is_buy = false;
+    for (const bid::BundleItem& item : items) plan.qty += -item.qty;
+    plan.bid.name = config_.team + "/arb-sell-e" +
+                    std::to_string(epoch) + "-s" + std::to_string(k);
+    plan.bid.bundles.emplace_back(std::move(items));
+    plan.bid.limit = -std::max(ask, 1.0);
+    last_plans_.push_back(std::move(plan));
+  }
+
+  // Buys: materialize the targets chosen above (lowest shard/pool index
+  // wins ties).
+  for (ResourceKind kind : kAllResourceKinds) {
+    const std::size_t cheap = buy_target[KindIndex(kind)];
+    if (cheap == views.size()) continue;
+    const double price_cheap = signal[cheap][KindIndex(kind)];
+    const double spread = buy_spread[KindIndex(kind)];
+
+    // Buy a slice of EVERY pool of the kind in the cheap shard (one
+    // bundle, pools in interning order): a single-pool purchase would
+    // barely move the shard's median price signal, but lifting the whole
+    // kind's utilization moves the congestion-weighted reserves that the
+    // next epoch clears against.
+    const ShardView& view = views[cheap];
+    std::vector<bid::BundleItem> items;
+    double total_qty = 0.0;
+    // Impact control: trade size shrinks with the remaining spread, so
+    // the correction tapers instead of overshooting (the price signal
+    // lags one epoch — full-size trades near convergence ping-pong).
+    const double fraction = config_.buy_fraction * std::min(1.0, spread);
+    for (const PoolId pool : view.registry->PoolsOfKind(kind)) {
+      if (pool >= view.free_capacity.size()) continue;
+      const double qty = view.free_capacity[pool] * fraction;
+      if (qty < config_.min_trade_units) continue;
+      items.push_back(bid::BundleItem{pool, qty});
+      total_qty += qty;
+    }
+    if (items.empty()) continue;
+
+    ArbitragePlan plan;
+    plan.shard = cheap;
+    plan.is_buy = true;
+    plan.qty = total_qty;
+    plan.bid.name = config_.team + "/arb-buy-e" + std::to_string(epoch) +
+                    "-" + std::string(pm::ToString(kind));
+    plan.bid.bundles.emplace_back(std::move(items));
+    plan.bid.limit = total_qty * price_cheap * config_.buy_markup;
+    // Fund the limit (rounded up a dollar) so the budget gate never
+    // clamps the bid below what was planned.
+    plan.funding =
+        Money::FromDollarsRounded(plan.bid.limit) + Money::FromDollars(1);
+    last_plans_.push_back(std::move(plan));
+  }
+  return last_plans_;
+}
+
+void ArbitrageAgent::ObserveEpoch(const FederationReport& report) {
+  if (holdings_.size() < report.shards.size()) {
+    holdings_.resize(report.shards.size());
+  }
+  for (const ArbitragePlan& plan : last_plans_) {
+    if (plan.shard >= report.shards.size()) continue;
+    const exchange::AuctionReport& shard = report.shards[plan.shard].report;
+    for (const exchange::AwardRecord& award : shard.awards) {
+      if (award.team != config_.team) continue;
+      if (award.bid_name != plan.bid.name) continue;
+      // award.payment covers the whole bundle; spread it over the items
+      // in proportion to quantity (pools of one kind clear near one
+      // another, and the warehouse basis is bookkeeping, not settlement).
+      const bid::Bundle& bundle = plan.bid.bundles.front();
+      double bundle_qty = 0.0;
+      for (const bid::BundleItem& item : bundle.items()) {
+        bundle_qty += std::abs(item.qty);
+      }
+      if (bundle_qty <= 0.0) continue;
+      const double per_unit = std::abs(award.payment) / bundle_qty;
+      for (const bid::BundleItem& item : bundle.items()) {
+        Holding& holding = holdings_[plan.shard][item.pool];
+        if (plan.is_buy) {
+          const double total = holding.units + item.qty;
+          if (total > 0.0) {
+            holding.basis = (holding.basis * holding.units +
+                             per_unit * item.qty) /
+                            total;
+          }
+          holding.units = total;
+        } else {
+          const double sold = -item.qty;  // Sell items are negative.
+          const double covered = std::min(holding.units, sold);
+          // Sellers receive money: per_unit × sold is this item's share
+          // of the (negative) payment.
+          realized_pnl_ += per_unit * sold - holding.basis * covered;
+          holding.units = std::max(0.0, holding.units - sold);
+        }
+      }
+    }
+  }
+  // Drop emptied holdings so sell planning stays proportional to the
+  // live warehouse.
+  for (auto& shard_holdings : holdings_) {
+    for (auto it = shard_holdings.begin(); it != shard_holdings.end();) {
+      if (it->second.units <= 1e-9) {
+        it = shard_holdings.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ArbitrageAgent::SeedHoldingsForTest(std::size_t shard, PoolId pool,
+                                         double units, double basis) {
+  if (holdings_.size() <= shard) holdings_.resize(shard + 1);
+  holdings_[shard][pool] = Holding{units, basis};
+}
+
+void ArbitrageAgent::OnClusterMigrated(
+    std::size_t from_shard, std::size_t to_shard,
+    const std::vector<std::pair<PoolId, PoolId>>& pool_map) {
+  if (from_shard >= holdings_.size()) return;
+  if (holdings_.size() <= to_shard) holdings_.resize(to_shard + 1);
+  for (const auto& [from_pool, to_pool] : pool_map) {
+    auto it = holdings_[from_shard].find(from_pool);
+    if (it == holdings_[from_shard].end()) continue;
+    Holding& dst = holdings_[to_shard][to_pool];
+    const double total = dst.units + it->second.units;
+    if (total > 0.0) {
+      dst.basis = (dst.basis * dst.units +
+                   it->second.basis * it->second.units) /
+                  total;
+    }
+    dst.units = total;
+    holdings_[from_shard].erase(it);
+  }
+}
+
+double ArbitrageAgent::HoldingsUnits(std::size_t shard) const {
+  if (shard >= holdings_.size()) return 0.0;
+  double units = 0.0;
+  for (const auto& [pool, holding] : holdings_[shard]) {
+    units += holding.units;
+  }
+  return units;
+}
+
+double ArbitrageAgent::TotalHoldingsUnits() const {
+  double units = 0.0;
+  for (std::size_t k = 0; k < holdings_.size(); ++k) {
+    units += HoldingsUnits(k);
+  }
+  return units;
+}
+
+}  // namespace pm::federation

@@ -1,9 +1,11 @@
 #include "federation/federated_exchange.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "exchange/endowment.h"
 
 namespace pm::federation {
 
@@ -56,6 +58,31 @@ FederatedExchange::FederatedExchange(std::vector<ShardSpec> specs,
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+
+  // Economy layer. Everything stays null when disabled so the epoch loop
+  // below is byte-for-byte the PR 2 path.
+  if (config_.economy.arbitrage.enabled) {
+    PM_CHECK_MSG(config_.economy.treasury,
+                 "arbitrage needs the treasury: its margin account is "
+                 "planet currency (set EconomyConfig::treasury)");
+  }
+  if (config_.economy.treasury) {
+    std::vector<std::string> names;
+    names.reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      names.push_back(shard->name);
+    }
+    treasury_ = std::make_unique<FederationTreasury>(std::move(names));
+  }
+  if (config_.economy.arbitrage.enabled) {
+    arbitrage_ = std::make_unique<ArbitrageAgent>(config_.economy.arbitrage);
+    treasury_->Mint(arbitrage_->team(), config_.economy.arbitrage.margin,
+                    "arbitrage margin account");
+  }
+  if (config_.economy.rebalance.enabled) {
+    rebalancer_ = std::make_unique<FleetRebalancer>(
+        config_.economy.rebalance, shards_.size());
+  }
 }
 
 const std::string& FederatedExchange::ShardName(std::size_t shard) const {
@@ -99,8 +126,45 @@ std::vector<ShardView> FederatedExchange::BuildShardViews() const {
   return views;
 }
 
+std::vector<const cluster::Fleet*> FederatedExchange::ShardFleets() const {
+  std::vector<const cluster::Fleet*> fleets;
+  fleets.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    fleets.push_back(&shard->world.fleet);
+  }
+  return fleets;
+}
+
 void FederatedExchange::EndowFederatedTeam(const std::string& team,
                                            Money per_shard_budget) {
+  if (treasury_ != nullptr) {
+    // The settlement sweep withdraws this name's entire local balance in
+    // every shard each epoch — a collision with a resident team would
+    // silently confiscate that team's budget. Fail fast instead.
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      for (const agents::TeamAgent& agent : shard->world.agents) {
+        PM_CHECK_MSG(agent.profile().name != team,
+                     "federated team '"
+                         << team << "' collides with a resident team in "
+                         << "shard '" << shard->name
+                         << "'; the treasury sweep would drain it");
+      }
+    }
+    // One planet-wide mint; shard budgets become per-epoch allowances
+    // pushed (and swept back) by RunEpoch.
+    treasury_->Mint(team,
+                    per_shard_budget *
+                        static_cast<std::int64_t>(shards_.size()),
+                    "federated endowment: " + team);
+    for (FederatedTeam& registered : federated_teams_) {
+      if (registered.team == team) {
+        registered.per_shard_allowance = per_shard_budget;
+        return;
+      }
+    }
+    federated_teams_.push_back(FederatedTeam{team, per_shard_budget});
+    return;
+  }
   for (const std::unique_ptr<Shard>& shard : shards_) {
     shard->market->EndowTeam(team, per_shard_budget,
                              "federation endowment");
@@ -125,13 +189,79 @@ void FederatedExchange::SubmitFederatedBid(FederatedBid bid) {
 FederationReport FederatedExchange::RunEpoch() {
   const int epoch = EpochCount();
 
-  // 1. Snapshot + route. Routing reads a coherent pre-auction snapshot of
-  // every shard; the queued federated bids become per-shard external bids.
-  // Skipped entirely when nothing is pending — the snapshot costs a full
-  // reserve-pricing pass per shard, which RunAuction repeats anyway.
+  // 0. Treasury: push this epoch's shard allowances (planet account →
+  // shard float → shard-local endowment), teams in registration order,
+  // shards by index — deterministic, and clamped to each team's planet
+  // balance so no push can create money.
+  if (treasury_ != nullptr) {
+    const std::string memo = "treasury allowance epoch " +
+                             std::to_string(epoch);
+    for (const FederatedTeam& team : federated_teams_) {
+      // An underfunded team's remaining planet balance is divided
+      // evenly (to the micro-dollar) across shards, so shard 0 cannot
+      // drain the pot before later shards are funded at all.
+      const std::vector<Money> fair_share = exchange::SplitEvenly(
+          treasury_->PlanetBalance(team.team), shards_.size());
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        const Money granted = treasury_->PushAllowance(
+            team.team, k,
+            std::min(team.per_shard_allowance, fair_share[k]), epoch);
+        if (!granted.IsZero()) {
+          shards_[k]->market->EndowTeam(team.team, granted, memo);
+        }
+      }
+    }
+  }
+
+  // One coherent pre-auction snapshot per epoch, built lazily: prices
+  // and free capacity only move at auction time, so the arbitrage
+  // planner and the router can share it — and an epoch with neither
+  // pays nothing (the snapshot costs a full reserve-pricing pass per
+  // shard, which RunAuction repeats anyway).
+  std::vector<ShardView> views;
+  const auto ensure_views = [&] {
+    if (views.empty()) views = BuildShardViews();
+  };
+
+  // 0b. Arbitrage: plan from the previous epoch's clearing prices, fund
+  // each buy from the margin account (clamped to what is left of it),
+  // and enter the bids through the shards' external-bid gates. The
+  // first epoch has no price signal, so the agent sits it out.
+  std::vector<ArbitragePlan> arb_plans;
+  std::size_t arb_buys_submitted = 0;
+  std::size_t arb_sells_submitted = 0;
+  if (arbitrage_ != nullptr && !history_.empty()) {
+    ensure_views();
+    arb_plans = arbitrage_->PlanEpoch(&history_.back(), views,
+                                      ShardFleets(), epoch);
+    for (ArbitragePlan& plan : arb_plans) {
+      if (plan.is_buy) {
+        const Money granted = treasury_->PushAllowance(
+            arbitrage_->team(), plan.shard, plan.funding, epoch);
+        if (granted.IsZero()) continue;  // Margin exhausted: skip the buy.
+        shards_[plan.shard]->market->EndowTeam(
+            arbitrage_->team(), granted,
+            "arbitrage margin epoch " + std::to_string(epoch));
+        // Cap the bid at ITS OWN funding, not the team's shard balance:
+        // the market's gate clamps to the total balance, so two partially
+        // funded buys in one shard could otherwise win for more than the
+        // margin granted and settle as a local overdraft.
+        plan.bid.limit = std::min(plan.bid.limit, granted.ToDouble());
+        ++arb_buys_submitted;
+      } else {
+        ++arb_sells_submitted;
+      }
+      shards_[plan.shard]->market->SubmitExternalBid(
+          exchange::Market::ExternalBid{arbitrage_->team(), plan.bid});
+    }
+  }
+
+  // 1. Route. The queued federated bids become per-shard external bids,
+  // placed against the shared snapshot.
   RoutingResult routing;
   if (!pending_.empty()) {
-    MarketRouter router(config_.router, BuildShardViews());
+    ensure_views();
+    MarketRouter router(config_.router, std::move(views));
     routing = router.Route(pending_);
     pending_.clear();
     for (const RoutedBid& routed : routing.routed) {
@@ -155,10 +285,113 @@ FederationReport FederatedExchange::RunEpoch() {
     for (std::size_t k = 0; k < shards_.size(); ++k) run_shard(k);
   }
 
-  // 3. Merge into the planet-wide report.
-  history_.push_back(BuildFederationReport(epoch, std::move(summaries),
-                                           std::move(routing)));
+  // 3. Merge into the planet-wide report. The clearing-price spread is
+  // measured before any rebalancing so it reflects the fleets the prices
+  // were discovered on.
+  FederationReport report = BuildFederationReport(epoch,
+                                                  std::move(summaries),
+                                                  std::move(routing));
+  report.clearing_spread =
+      ComputeClearingSpread(report, ShardFleets());
+
+  // 4. Arbitrage digest: map this epoch's awards into the warehouse
+  // before the money is swept.
+  if (arbitrage_ != nullptr) {
+    arbitrage_->ObserveEpoch(report);
+    report.arbitrage.enabled = true;
+    // Only bids that actually reached a shard's auction count — a buy
+    // whose funding push came back empty was never submitted.
+    report.arbitrage.buys_planned = arb_buys_submitted;
+    report.arbitrage.sells_planned = arb_sells_submitted;
+    report.arbitrage.holdings_units = arbitrage_->TotalHoldingsUnits();
+    report.arbitrage.realized_pnl = arbitrage_->RealizedPnl();
+  }
+
+  // 5. Settlement sweep: every federated team's shard-local balance is
+  // withdrawn to the shard operator and reconciled on the planet ledger.
+  // Between epochs the shard floats are therefore exactly zero and the
+  // treasury holds every federated dollar.
+  if (treasury_ != nullptr) {
+    const std::string memo = "treasury sweep epoch " +
+                             std::to_string(epoch);
+    for (const std::string& team : treasury_->Teams()) {
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        const Money remaining =
+            shards_[k]->market->WithdrawTeam(team, memo);
+        treasury_->Sweep(team, k, remaining, epoch);
+      }
+    }
+    report.treasury.enabled = true;
+    report.treasury.minted = treasury_->TotalMinted().ToDouble();
+    report.treasury.burned = treasury_->TotalBurned().ToDouble();
+    report.treasury.team_total = treasury_->TeamTotal().ToDouble();
+    report.treasury.float_total = treasury_->FloatTotal().ToDouble();
+    report.treasury.shard_net_total =
+        treasury_->ShardNetTotal().ToDouble();
+    report.treasury.transfers = treasury_->Transfers().size();
+  }
+
+  // 6. Rebalance: whole-cluster migrations planned off the merged report
+  // and applied serially — both shards' capacities change before the
+  // next epoch.
+  if (rebalancer_ != nullptr) {
+    for (const MigrationPlan& plan :
+         rebalancer_->Observe(report, ShardFleets())) {
+      report.migrations.push_back(ApplyMigration(plan, epoch));
+    }
+  }
+
+  history_.push_back(std::move(report));
   return history_.back();
+}
+
+ClusterMigration FederatedExchange::ApplyMigration(
+    const MigrationPlan& plan, int epoch) {
+  PM_CHECK(plan.from_shard < shards_.size() &&
+           plan.to_shard < shards_.size() &&
+           plan.from_shard != plan.to_shard);
+  Shard& from = *shards_[plan.from_shard];
+  Shard& to = *shards_[plan.to_shard];
+  cluster::Cluster moved = from.market->ExtractCluster(plan.cluster);
+  // Qualify the name by origin: shard worlds reuse the generator's
+  // cluster names ("r03"), so a bare adoption would collide. Repeat
+  // migrations of the same base name into the same destination get a
+  // deterministic "#<epoch>-<n>" suffix (n covers several same-base
+  // clusters arriving in one epoch).
+  const std::string base = plan.cluster.substr(0, plan.cluster.find('@'));
+  std::string adopted = base + "@" + from.name;
+  for (int n = 0; to.world.fleet.HasCluster(adopted); ++n) {
+    adopted = base + "@" + from.name + "#" + std::to_string(epoch) + "-" +
+              std::to_string(n);
+  }
+  moved.SetName(adopted);
+  to.market->AdoptCluster(std::move(moved));
+
+  // The arbitrage warehouse is keyed by (shard, pool): entries backed by
+  // jobs that just travelled with the cluster must travel too.
+  if (arbitrage_ != nullptr) {
+    std::vector<std::pair<PoolId, PoolId>> pool_map;
+    for (ResourceKind kind : kAllResourceKinds) {
+      const auto from_pool =
+          from.world.fleet.registry().Find(PoolKey{plan.cluster, kind});
+      const auto to_pool =
+          to.world.fleet.registry().Find(PoolKey{adopted, kind});
+      if (from_pool.has_value() && to_pool.has_value()) {
+        pool_map.emplace_back(*from_pool, *to_pool);
+      }
+    }
+    arbitrage_->OnClusterMigrated(plan.from_shard, plan.to_shard,
+                                  pool_map);
+  }
+
+  ClusterMigration record;
+  record.cluster = plan.cluster;
+  record.adopted_name = std::move(adopted);
+  record.from_shard = plan.from_shard;
+  record.to_shard = plan.to_shard;
+  record.from_util = plan.from_util;
+  record.to_util = plan.to_util;
+  return record;
 }
 
 }  // namespace pm::federation

@@ -33,10 +33,36 @@
 #include "agents/workload_gen.h"
 #include "common/thread_pool.h"
 #include "exchange/market.h"
+#include "federation/arbitrage.h"
+#include "federation/economy.h"
+#include "federation/rebalance.h"
 #include "federation/report.h"
 #include "federation/router.h"
 
 namespace pm::federation {
+
+/// The planet-wide economy layer on top of the sharded exchange. All
+/// three features default OFF, in which case an epoch's market outcomes
+/// (prices, awards, settlements, fleet state) are bit-identical to the
+/// plain PR 2 federation (shard-local minting, no cross-shard agents,
+/// static fleets) — asserted by tests/federation_economy_test.cpp. The
+/// reporting plane does always stamp the read-only cross-shard
+/// clearing-price spread on the epoch report (the arbitrage bench's
+/// baseline needs it), which touches no market state.
+struct EconomyConfig {
+  /// One planet-wide ledger: EndowFederatedTeam mints planet currency
+  /// instead of per-shard budgets, every epoch pushes shard allowances
+  /// before the auctions and sweeps shard balances back afterwards
+  /// (money conserved modulo explicit mints/burns — see economy.h).
+  bool treasury = false;
+
+  /// Cross-shard arbitrage agents (requires `treasury`: the agent's
+  /// working capital is a treasury margin account).
+  ArbitrageConfig arbitrage;
+
+  /// Whole-cluster migration between shards.
+  RebalanceConfig rebalance;
+};
 
 /// One shard's recipe: a synthetic world plus the market over it. The
 /// workload and market seeds are overridden with federation-derived
@@ -67,6 +93,9 @@ struct FederationConfig {
   /// bisection, thread pool, or trajectory recording) — construction
   /// fails loudly otherwise.
   std::size_t proxy_nodes_per_shard = 0;
+
+  /// Treasury / arbitrage / rebalancing (all default off).
+  EconomyConfig economy;
 };
 
 /// N sharded markets behind one planet-wide exchange.
@@ -92,9 +121,15 @@ class FederatedExchange {
   /// capacity, fixed prices).
   std::vector<ShardView> BuildShardViews() const;
 
-  /// Mints budget for a planet-wide team in every shard's local market
-  /// (local ledgers are authoritative; cross-shard budget transfers are a
-  /// follow-up — see docs/federation.md).
+  /// Funds a planet-wide team. Without the treasury (the PR 2 path) this
+  /// mints `per_shard_budget` in every shard's local ledger, which stays
+  /// authoritative. With EconomyConfig::treasury it instead mints
+  /// `per_shard_budget × NumShards()` of planet currency into the team's
+  /// treasury account and registers a per-shard allowance of
+  /// `per_shard_budget`: each epoch pushes (up to) that allowance into
+  /// every shard before the auctions and sweeps the remainders back
+  /// afterwards, so between epochs the planet ledger holds every
+  /// federated dollar.
   void EndowFederatedTeam(const std::string& team, Money per_shard_budget);
 
   /// Queues a federation-level bid for the next epoch's routing pass.
@@ -111,12 +146,35 @@ class FederatedExchange {
   const std::vector<FederationReport>& History() const { return history_; }
   int EpochCount() const { return static_cast<int>(history_.size()); }
 
+  /// Read-only fleet pointers in shard order (price-signal and
+  /// rebalancing helpers take these).
+  std::vector<const cluster::Fleet*> ShardFleets() const;
+
+  /// The planet ledger (null when EconomyConfig::treasury is off).
+  const FederationTreasury* treasury() const { return treasury_.get(); }
+
+  /// The cross-shard arbitrageur (null when disabled).
+  const ArbitrageAgent* arbitrageur() const { return arbitrage_.get(); }
+
+  /// The fleet rebalancer (null when disabled).
+  const FleetRebalancer* rebalancer() const { return rebalancer_.get(); }
+
  private:
   struct Shard {
     std::string name;
     agents::World world;
     std::unique_ptr<exchange::Market> market;
   };
+
+  /// A treasury-funded planet-wide team and its per-shard epoch
+  /// allowance.
+  struct FederatedTeam {
+    std::string team;
+    Money per_shard_allowance;
+  };
+
+  /// Executes one planned cluster migration and returns its record.
+  ClusterMigration ApplyMigration(const MigrationPlan& plan, int epoch);
 
   FederationConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Stable addresses: each
@@ -125,6 +183,12 @@ class FederatedExchange {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<FederatedBid> pending_;
   std::vector<FederationReport> history_;
+
+  // Economy layer (all null/empty when disabled).
+  std::unique_ptr<FederationTreasury> treasury_;
+  std::unique_ptr<ArbitrageAgent> arbitrage_;
+  std::unique_ptr<FleetRebalancer> rebalancer_;
+  std::vector<FederatedTeam> federated_teams_;
 };
 
 }  // namespace pm::federation

@@ -1,0 +1,134 @@
+#include "federation/rebalance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/serializer.h"
+#include "stats/descriptive.h"
+
+namespace pm::federation {
+
+FleetRebalancer::FleetRebalancer(RebalanceConfig config,
+                                 std::size_t num_shards)
+    : config_(std::move(config)), num_shards_(num_shards) {
+  PM_CHECK_MSG(num_shards_ >= 2,
+               "rebalancing needs at least two shards to move between");
+  PM_CHECK_MSG(config_.spread_threshold > 0.0,
+               "spread_threshold must be positive");
+  PM_CHECK_MSG(config_.consecutive_epochs >= 1,
+               "consecutive_epochs must be at least 1");
+  PM_CHECK_MSG(config_.percentile >= 0.0 && config_.percentile <= 1.0,
+               "percentile must be in [0, 1]");
+}
+
+std::uint64_t FleetRebalancer::TieRank(std::uint64_t seed, int epoch,
+                                       const std::string& cluster) {
+  // net::Fnv1a over the name (implementation-defined std::hash would
+  // break cross-platform determinism), folded through SplitMix64 with
+  // the seed and epoch so tie orders differ between epochs but never
+  // between runs.
+  const std::uint64_t h = net::Fnv1a(
+      reinterpret_cast<const std::uint8_t*>(cluster.data()),
+      cluster.size());
+  SplitMix64 mix(seed ^ h ^
+                 (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                              epoch + 1)));
+  return mix.Next();
+}
+
+std::vector<MigrationPlan> FleetRebalancer::Observe(
+    const FederationReport& report,
+    const std::vector<const cluster::Fleet*>& fleets) {
+  PM_CHECK(report.shards.size() == fleets.size());
+  std::vector<MigrationPlan> plans;
+  if (report.shards.size() < 2) return plans;
+
+  // Rank shards by the configured percentile of their per-pool
+  // post-auction utilization. Pools of previously-extracted clusters
+  // stay in the registry at zero capacity and zero utilization — they
+  // must not count, or a donor shard would look ever cooler after each
+  // donation and be drained to its one-cluster floor. Ties break toward
+  // the lowest shard index.
+  std::vector<double> utils(report.shards.size(), 0.0);
+  for (std::size_t k = 0; k < report.shards.size(); ++k) {
+    const std::vector<double>& post =
+        report.shards[k].report.post_utilization;
+    const std::vector<double> capacity = fleets[k]->CapacityVector();
+    std::vector<double> live;
+    live.reserve(post.size());
+    const std::size_t limit = std::min(post.size(), capacity.size());
+    for (std::size_t r = 0; r < limit; ++r) {
+      if (capacity[r] > 0.0) live.push_back(post[r]);
+    }
+    utils[k] = live.empty() ? 0.0
+                            : stats::Quantile(live, config_.percentile);
+  }
+  std::size_t hot = 0, cool = 0;
+  for (std::size_t k = 1; k < utils.size(); ++k) {
+    if (utils[k] > utils[hot]) hot = k;
+    if (utils[k] < utils[cool]) cool = k;
+  }
+  const double spread = utils[hot] - utils[cool];
+  if (spread <= config_.spread_threshold || hot == cool) {
+    streak_ = 0;
+    return plans;
+  }
+  ++streak_;
+  if (streak_ < config_.consecutive_epochs) return plans;
+
+  // Donor: the coolest shard that can still donate (every fleet keeps at
+  // least one cluster) AND is itself a full spread cooler than the
+  // receiver — the absolute coolest may already be at its floor, and
+  // falling back to a shard nearly as hot as the receiver would migrate
+  // capacity between two hot shards and ping-pong. The streak is
+  // consumed only when a migration actually happens, so persistent
+  // imbalance is not re-counted from scratch after a fruitless trigger.
+  std::size_t donor_shard = fleets.size();
+  for (std::size_t k = 0; k < fleets.size(); ++k) {
+    if (k == hot || fleets[k]->NumClusters() < 2) continue;
+    if (utils[hot] - utils[k] <= config_.spread_threshold) continue;
+    if (donor_shard == fleets.size() || utils[k] < utils[donor_shard]) {
+      donor_shard = k;
+    }
+  }
+  if (donor_shard == fleets.size()) return plans;  // Nobody can donate.
+  streak_ = 0;
+  cool = donor_shard;
+  const cluster::Fleet& donor = *fleets[cool];
+  struct Candidate {
+    double utilization;
+    std::uint64_t rank;
+    std::string name;
+  };
+  std::vector<Candidate> candidates;
+  for (const std::string& name : donor.ClusterNames()) {
+    candidates.push_back(Candidate{
+        donor.ClusterByName(name).MaxUtilization(),
+        TieRank(config_.seed, report.epoch, name), name});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utilization != b.utilization) {
+                return a.utilization < b.utilization;
+              }
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.name < b.name;
+            });
+
+  const std::size_t moves =
+      std::min(config_.max_migrations_per_epoch,
+               donor.NumClusters() - 1);  // Keep one behind.
+  for (std::size_t i = 0; i < moves && i < candidates.size(); ++i) {
+    MigrationPlan plan;
+    plan.from_shard = cool;
+    plan.to_shard = hot;
+    plan.cluster = candidates[i].name;
+    plan.from_util = utils[cool];
+    plan.to_util = utils[hot];
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace pm::federation

@@ -1,0 +1,89 @@
+// planetmarket: fleet rebalancing — migrating whole clusters between
+// market shards.
+//
+// Arbitrage couples shard prices through demand; rebalancing couples them
+// through supply. When one shard's utilization percentile has exceeded a
+// configurable spread over another's for K consecutive epochs, the
+// federation moves physical capacity where the demand is: the *coolest*
+// cluster of the coolest shard (spare machines nobody is bidding up) is
+// extracted from its market — jobs, machines, quota records and all — and
+// adopted by the hottest shard, whose reserve prices relax as its free
+// capacity grows. The §V story of teams migrating across clusters, applied
+// one level up, to the clusters themselves.
+//
+// Determinism contract (docs/federation.md): migrations are planned only
+// from epoch reports (identical across thread counts), shard ties break
+// toward the lowest index, cluster ties break by a seeded FNV/SplitMix
+// rank — so two runs with the same seeds migrate the same clusters at the
+// same epochs, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "federation/report.h"
+
+namespace pm::federation {
+
+/// Rebalancing policy knobs.
+struct RebalanceConfig {
+  bool enabled = false;
+
+  /// Utilization-percentile gap (as a fraction, e.g. 0.30 = 30 points)
+  /// between the hottest and coolest shard that counts as imbalance.
+  double spread_threshold = 0.30;
+
+  /// Consecutive epochs the gap must persist before capacity moves (K).
+  int consecutive_epochs = 2;
+
+  /// Which percentile of each shard's per-pool utilization is compared
+  /// (0.9 ranks shards by their hot tail, 0.5 by their median pool).
+  double percentile = 0.9;
+
+  /// Whole clusters migrated per triggering epoch.
+  std::size_t max_migrations_per_epoch = 1;
+
+  /// Seed for deterministic tie-breaks among equally-cool clusters.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// One planned cluster move (executed by FederatedExchange).
+struct MigrationPlan {
+  std::size_t from_shard = 0;  // Cool shard donating capacity.
+  std::size_t to_shard = 0;    // Hot shard receiving it.
+  std::string cluster;         // Cluster name within the donor fleet.
+  double from_util = 0.0;      // Donor's percentile utilization.
+  double to_util = 0.0;        // Receiver's percentile utilization.
+};
+
+/// Watches epoch reports and decides when capacity moves.
+class FleetRebalancer {
+ public:
+  FleetRebalancer(RebalanceConfig config, std::size_t num_shards);
+
+  /// Digests one epoch's post-auction utilizations. Returns the cluster
+  /// moves to execute now: empty until the hot/cool spread has persisted
+  /// for `consecutive_epochs` epochs, then up to
+  /// `max_migrations_per_epoch` plans (and the streak resets).
+  std::vector<MigrationPlan> Observe(
+      const FederationReport& report,
+      const std::vector<const cluster::Fleet*>& fleets);
+
+  /// Epochs the current imbalance has persisted.
+  int Streak() const { return streak_; }
+
+  /// Deterministic tie-break rank for a cluster name (FNV-1a folded
+  /// through SplitMix64 with the config seed and epoch). Exposed for the
+  /// determinism tests.
+  static std::uint64_t TieRank(std::uint64_t seed, int epoch,
+                               const std::string& cluster);
+
+ private:
+  RebalanceConfig config_;
+  std::size_t num_shards_;
+  int streak_ = 0;
+};
+
+}  // namespace pm::federation

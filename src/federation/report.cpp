@@ -82,6 +82,30 @@ std::string RenderFederationSummary(const FederationReport& report) {
     }
   }
   os << '\n';
+  os << "clearing-price spread " << FormatPct(report.clearing_spread, 1)
+     << " across shards\n";
+  if (report.treasury.enabled) {
+    os << "treasury: minted $" << FormatF(report.treasury.minted, 2)
+       << ", teams $" << FormatF(report.treasury.team_total, 2)
+       << ", float $" << FormatF(report.treasury.float_total, 2)
+       << ", shard-net $" << FormatF(report.treasury.shard_net_total, 2)
+       << " (" << report.treasury.transfers << " transfers)\n";
+  }
+  if (report.arbitrage.enabled) {
+    os << "arbitrage: " << report.arbitrage.buys_planned << " buys, "
+       << report.arbitrage.sells_planned << " sells, warehouse "
+       << FormatF(report.arbitrage.holdings_units, 1)
+       << " units, realized P&L $"
+       << FormatF(report.arbitrage.realized_pnl, 2) << '\n';
+  }
+  for (const ClusterMigration& migration : report.migrations) {
+    os << "rebalance: cluster " << migration.cluster << " (shard "
+       << migration.from_shard << ", util "
+       << FormatPct(migration.from_util, 0) << ") -> shard "
+       << migration.to_shard << " (util "
+       << FormatPct(migration.to_util, 0) << ") as "
+       << migration.adopted_name << '\n';
+  }
   return os.str();
 }
 

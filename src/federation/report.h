@@ -25,6 +25,38 @@ struct ShardEpochSummary {
   exchange::AuctionReport report;  // The shard's full auction report.
 };
 
+/// The planet ledger's state after an epoch's settlement sweep (all
+/// amounts in display dollars; the treasury itself books exact Money).
+/// Zero-valued and disabled when the federation runs without a treasury.
+struct TreasurySnapshot {
+  bool enabled = false;
+  double minted = 0.0;
+  double burned = 0.0;
+  double team_total = 0.0;       // Σ planet team balances.
+  double float_total = 0.0;      // Σ shard floats (zero between epochs).
+  double shard_net_total = 0.0;  // Σ shard net-settlement accounts.
+  std::size_t transfers = 0;     // Cross-shard transfer records so far.
+};
+
+/// What the federation arbitrageur did this epoch.
+struct ArbitrageSummary {
+  bool enabled = false;
+  std::size_t buys_planned = 0;
+  std::size_t sells_planned = 0;
+  double holdings_units = 0.0;  // Warehoused units across all shards.
+  double realized_pnl = 0.0;    // Cumulative realized arbitrage P&L.
+};
+
+/// One whole-cluster migration executed by the fleet rebalancer.
+struct ClusterMigration {
+  std::string cluster;       // Name in the donor fleet.
+  std::string adopted_name;  // Qualified name in the receiving fleet.
+  std::size_t from_shard = 0;
+  std::size_t to_shard = 0;
+  double from_util = 0.0;  // Donor percentile utilization at decision.
+  double to_util = 0.0;    // Receiver percentile utilization at decision.
+};
+
 /// Everything recorded about one federated epoch.
 struct FederationReport {
   int epoch = 0;
@@ -55,6 +87,14 @@ struct FederationReport {
   // Fleet health across every pool on the planet, post-auction.
   double utilization_spread = 0.0;          // exchange::UtilizationSpread.
   std::vector<double> utilization_deciles;  // p10..p90 across all pools.
+
+  // Economy layer (zeroed when the corresponding feature is disabled).
+  /// Cross-shard relative clearing-price spread, mean over kinds priced
+  /// in at least two shards (see federation/arbitrage.h).
+  double clearing_spread = 0.0;
+  TreasurySnapshot treasury;
+  ArbitrageSummary arbitrage;
+  std::vector<ClusterMigration> migrations;
 };
 
 /// Merges per-shard summaries and the routing audit into one report.
