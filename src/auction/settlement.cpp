@@ -40,7 +40,23 @@ Settlement Settle(const ClockAuction& auction,
         std::abs(payment) > kPriceEps
             ? std::abs(limit - payment) / std::abs(payment)
             : std::numeric_limits<double>::quiet_NaN();
-    s.awards.push_back(award);
+    // Pool-level fill intents: net quantity per pool, first-appearance
+    // order (a bundle may list one pool several times).
+    for (const bid::BundleItem& item : bundle.items()) {
+      FillIntent* existing = nullptr;
+      for (FillIntent& intent : award.intents) {
+        if (intent.pool == item.pool) {
+          existing = &intent;
+          break;
+        }
+      }
+      if (existing != nullptr) {
+        existing->qty += item.qty;
+      } else {
+        award.intents.push_back(FillIntent{item.pool, item.qty});
+      }
+    }
+    s.awards.push_back(std::move(award));
     s.operator_revenue += payment;
     bid::AccumulateInto(bundle, net);
   }

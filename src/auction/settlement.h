@@ -15,6 +15,16 @@
 
 namespace pm::auction {
 
+/// One pool-level fill intent of an award: the net quantity the awarded
+/// bundle trades on one pool (> 0 buys, < 0 sells). The settlement layer
+/// downstream turns buy intents into physical placements and reports per
+/// intent how much actually landed (§V.B: a won bid is only worth its
+/// quota if the bin-packer can place it).
+struct FillIntent {
+  PoolId pool = 0;
+  double qty = 0.0;
+};
+
 /// One winner's award.
 struct Award {
   UserId user = kInvalidUser;
@@ -28,6 +38,10 @@ struct Award {
   /// The bid premium γ_u = |π_u − x_u·p| / |x_u·p| of §V.C Eq. (5);
   /// NaN when the payment is zero.
   double premium = 0.0;
+
+  /// Net per-pool quantities of the awarded bundle, aggregated over
+  /// duplicate items, in first-appearance order (deterministic).
+  std::vector<FillIntent> intents;
 };
 
 /// The settled outcome of one auction.

@@ -49,6 +49,18 @@ struct TaskShape {
   bool operator==(const TaskShape& other) const = default;
 };
 
+/// Component-wise dot product — the §V.B reconfiguration-cost form: a
+/// moved shape priced against per-unit cost weights.
+inline double Dot(const TaskShape& a, const TaskShape& b) {
+  return a.cpu * b.cpu + a.ram_gb * b.ram_gb + a.disk_tb * b.disk_tb;
+}
+
+/// Σ components, the unit-count of a shape (used where a scalar size is
+/// needed, e.g. benefit gates over mixed-kind capacity).
+inline double TotalUnits(const TaskShape& shape) {
+  return shape.cpu + shape.ram_gb + shape.disk_tb;
+}
+
 /// A replicated job: `tasks` tasks of identical shape, owned by a team.
 struct Job {
   JobId id = 0;

@@ -2,37 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
-#include "agents/strategy.h"
 #include "auction/system_check.h"
 #include "common/check.h"
 #include "net/distributed_auction.h"
 
 namespace pm::exchange {
-namespace {
-
-/// Splits awarded quota per cluster into buy/sell shapes.
-struct ClusterDelta {
-  cluster::TaskShape bought;
-  cluster::TaskShape sold;
-};
-
-std::unordered_map<std::string, ClusterDelta> SplitByCluster(
-    const PoolRegistry& registry, const bid::Bundle& bundle) {
-  std::unordered_map<std::string, ClusterDelta> deltas;
-  for (const bid::BundleItem& item : bundle.items()) {
-    const PoolKey& key = registry.KeyOf(item.pool);
-    ClusterDelta& delta = deltas[key.cluster];
-    if (item.qty > 0.0) {
-      delta.bought.Of(key.kind) += item.qty;
-    } else {
-      delta.sold.Of(key.kind) += -item.qty;
-    }
-  }
-  return deltas;
-}
-
-}  // namespace
 
 auction::ClockAuctionConfig DefaultMarketAuctionConfig() {
   auction::ClockAuctionConfig config;
@@ -218,6 +194,11 @@ Market::CollectedBids Market::CollectBids(
   // the mechanism reads, so clamping only the scalar would let an
   // external bid spend past its budget.
   for (ExternalBid& external : external_) {
+    // Validate before the clamp to tell the two rejection classes apart:
+    // a bid malformed as submitted is a validation failure; one that only
+    // breaks after its limit clamps to the local budget was starved.
+    const bool valid_as_submitted =
+        bid::ValidateBid(external.bid, fleet_->NumPools()).empty();
     const double budget = accounts_.BudgetOf(external.team).ToDouble();
     if (external.bid.limit > budget) external.bid.limit = budget;
     for (double& limit : external.bid.bundle_limits) {
@@ -226,10 +207,12 @@ Market::CollectedBids Market::CollectBids(
     const std::string problem =
         bid::ValidateBid(external.bid, fleet_->NumPools());
     if (!problem.empty()) {
-      // Rejected (typically a buy whose limit clamped to a zero budget):
-      // counted so the federation can see routed parts that never reached
-      // the auction.
-      ++collected.external_rejected;
+      // Rejected: recorded with the reason so the federation can see —
+      // and assert on — routed parts that never reached the auction.
+      collected.external_rejections.push_back(ExternalRejection{
+          external.team, external.bid.name,
+          valid_as_submitted ? ExternalRejection::Reason::kBudget
+                             : ExternalRejection::Reason::kValidation});
       continue;
     }
     BidOrigin origin;
@@ -277,7 +260,8 @@ AuctionReport Market::RunAuction() {
   CollectedBids collected =
       CollectBids(report.reserve_prices, report.pre_utilization, supply);
   report.num_bids = collected.bids.size();
-  report.external_rejected = collected.external_rejected;
+  report.external_rejected = collected.external_rejections.size();
+  report.external_rejections = std::move(collected.external_rejections);
 
   auction::ClockAuction auction(collected.bids, supply,
                                 report.reserve_prices);
@@ -316,34 +300,27 @@ AuctionReport Market::RunAuction() {
   report.settled_fraction = settlement.settled_fraction;
   report.operator_revenue = settlement.operator_revenue;
 
-  // Money: winners pay (or are paid by) the operator treasury.
-  for (const auction::Award& award : settlement.awards) {
-    const bid::Bid& b = collected.bids[award.user];
-    const std::string& team = collected.origin[award.user].team;
-    report.awards.push_back(AwardRecord{team, b.name, award.bundle_index,
-                                        award.payment, award.premium});
-    const Money amount = Money::FromDollarsRounded(std::abs(award.payment));
-    std::string status;
-    if (award.payment > 0.0) {
-      status = accounts_.ChargeTeam(team, amount, "auction: " + b.name);
-      if (!status.empty()) {
-        // Overdraft: settle anyway (the quota is already committed) but
-        // surface it — the budget gate failed, e.g. two winning buy bids
-        // from one team.
-        ++report.overdrafts;
-        accounts_.Endow(team, amount - accounts_.BudgetOf(team),
-                        "overdraft cover: " + b.name);
-        status = accounts_.ChargeTeam(team, amount,
-                                      "auction (overdraft): " + b.name);
-        PM_CHECK_MSG(status.empty(), "settlement failed: " << status);
-      }
-    } else if (award.payment < 0.0) {
-      accounts_.PayTeam(team, amount, "auction: " + b.name);
-    }
-  }
-
   RecordTrades(collected, settlement, report);
-  ApplyPhysicalSettlement(collected, settlement, report);
+
+  // Settlement pipeline: billing → quota → placement → outcome →
+  // (gated) refunds → move pricing, award by award.
+  std::vector<SettlementPipeline::AwardInput> inputs;
+  inputs.reserve(settlement.awards.size());
+  for (const auction::Award& award : settlement.awards) {
+    const BidOrigin& origin = collected.origin[award.user];
+    SettlementPipeline::AwardInput input;
+    input.bid = &collected.bids[award.user];
+    input.award = &award;
+    input.team = origin.team;
+    input.agent = origin.IsExternal()
+                      ? SettlementPipeline::AwardInput::kExternalAgent
+                      : origin.agent;
+    inputs.push_back(std::move(input));
+  }
+  SettlementPipeline pipeline(fleet_, agents_, &quota_, &accounts_,
+                              config_.settlement, config_.max_task_shape,
+                              &next_job_id_);
+  pipeline.Execute(inputs, report.settled_prices, report);
   RefreshTeamProfiles();
 
   // Let every agent observe the uniform clearing prices (losers learn
@@ -395,139 +372,6 @@ void Market::RecordTrades(const CollectedBids& collected,
       sample.util_percentile =
           fleet_->UtilizationPercentile(key.cluster, key.kind);
       report.trades.push_back(std::move(sample));
-    }
-  }
-}
-
-void Market::ApplyPhysicalSettlement(const CollectedBids& collected,
-                                     const auction::Settlement& settlement,
-                                     AuctionReport& report) {
-  const PoolRegistry& registry = fleet_->registry();
-  for (const auction::Award& award : settlement.awards) {
-    const bid::Bid& b = collected.bids[award.user];
-    const BidOrigin& origin = collected.origin[award.user];
-    const std::string& team = origin.team;
-    const bid::Bundle& bundle =
-        b.bundles[static_cast<std::size_t>(award.bundle_index)];
-
-    // Quota first: the settled trade changes the team's entitlements
-    // regardless of how (or whether) the physical placement lands.
-    for (const bid::BundleItem& item : bundle.items()) {
-      if (item.qty > 0.0) {
-        quota_.Grant(team, item.pool, item.qty);
-      } else {
-        quota_.Release(team, item.pool, -item.qty);
-      }
-    }
-
-    if (agents::IsArbitrageBidName(b.name) && !origin.IsExternal()) {
-      // Arbitrage trades move quota, not jobs: adjust the warehouse.
-      std::vector<double>& holdings =
-          (*agents_)[origin.agent].mutable_holdings();
-      holdings.resize(registry.size(), 0.0);
-      for (const bid::BundleItem& item : bundle.items()) {
-        holdings[item.pool] =
-            std::max(0.0, holdings[item.pool] + item.qty);
-      }
-      continue;
-    }
-
-    const auto deltas = SplitByCluster(registry, bundle);
-    std::string sold_from;
-    std::string bought_in;
-
-    // Releases first: free the capacity before anyone re-buys it.
-    for (const auto& [cluster_name, delta] : deltas) {
-      if (delta.sold.cpu <= 0.0 && delta.sold.ram_gb <= 0.0 &&
-          delta.sold.disk_tb <= 0.0) {
-        continue;
-      }
-      // The cluster may have migrated to another shard since the pools
-      // were interned: the quota release above still stands, but there
-      // is nothing physical to vacate here.
-      if (!fleet_->HasCluster(cluster_name)) continue;
-      sold_from = cluster_name;
-      // Remove this team's jobs in the cluster, largest first, until the
-      // sold quantities are covered (whole-job granularity; slight
-      // over-release returns to the operator's free pool).
-      cluster::Cluster& cl = fleet_->ClusterByName(cluster_name);
-      std::vector<std::pair<double, cluster::JobId>> candidates;
-      for (cluster::JobId id : cl.JobIds()) {
-        const cluster::Job* job = cl.FindJob(id);
-        if (job != nullptr && job->team == team) {
-          candidates.emplace_back(job->TotalDemand().cpu, id);
-        }
-      }
-      std::sort(candidates.rbegin(), candidates.rend());
-      cluster::TaskShape freed;
-      for (const auto& [cpu, id] : candidates) {
-        if (freed.cpu >= delta.sold.cpu &&
-            freed.ram_gb >= delta.sold.ram_gb &&
-            freed.disk_tb >= delta.sold.disk_tb) {
-          break;
-        }
-        const std::optional<cluster::Job> removed = cl.RemoveJob(id);
-        PM_CHECK(removed.has_value());
-        quota_.Refund(team, registry, cluster_name,
-                      removed->TotalDemand());
-        freed += removed->TotalDemand();
-        ++report.jobs_removed;
-      }
-    }
-
-    for (const auto& [cluster_name, delta] : deltas) {
-      if (delta.bought.cpu <= 0.0 && delta.bought.ram_gb <= 0.0 &&
-          delta.bought.disk_tb <= 0.0) {
-        continue;
-      }
-      // Quota won in a cluster that has since migrated away cannot
-      // materialize physically; count it with the bin-packing failures.
-      if (!fleet_->HasCluster(cluster_name)) {
-        ++report.placement_failures;
-        continue;
-      }
-      bought_in = cluster_name;
-      // Materialize the bought quota as a job split into machine-sized
-      // tasks.
-      int tasks = 1;
-      for (ResourceKind kind : kAllResourceKinds) {
-        const double cap = config_.max_task_shape.Of(kind);
-        if (cap > 0.0 && delta.bought.Of(kind) > 0.0) {
-          tasks = std::max(
-              tasks, static_cast<int>(
-                         std::ceil(delta.bought.Of(kind) / cap)));
-        }
-      }
-      cluster::Job job;
-      job.id = next_job_id_++;
-      job.team = team;
-      job.tasks = tasks;
-      job.shape = delta.bought * (1.0 / static_cast<double>(tasks));
-      bool placed = fleet_->AddJob(cluster_name, job);
-      if (!placed) {
-        // Fragmentation: retry with tasks twice as fine.
-        job.tasks *= 2;
-        job.shape = delta.bought * (1.0 / job.tasks);
-        job.id = next_job_id_++;
-        placed = fleet_->AddJob(cluster_name, job);
-      }
-      if (placed) {
-        quota_.Charge(team, registry, cluster_name, delta.bought);
-        ++report.jobs_added;
-      } else {
-        ++report.placement_failures;
-      }
-    }
-
-    if (!sold_from.empty() || !bought_in.empty()) {
-      MoveRecord move;
-      move.team = team;
-      move.from_cluster = sold_from;
-      move.to_cluster = bought_in;
-      for (const auto& [cluster_name, delta] : deltas) {
-        move.amount += delta.bought;
-      }
-      report.moves.push_back(std::move(move));
     }
   }
 }

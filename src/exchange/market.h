@@ -27,6 +27,7 @@
 #include "exchange/accounts.h"
 #include "exchange/endowment.h"
 #include "exchange/report.h"
+#include "exchange/settlement_pipeline.h"
 #include "reserve/reserve_pricer.h"
 
 namespace pm::exchange {
@@ -61,6 +62,11 @@ struct MarketConfig {
   /// Per-task caps used when materializing won quota into jobs (tasks are
   /// split so they fit real machines).
   cluster::TaskShape max_task_shape{8.0, 32.0, 4.0};
+
+  /// Outcome-aware settlement gates (refunds for unplaced units, §V.B
+  /// move pricing). Defaults reproduce the legacy settlement bit for
+  /// bit; PlacementOutcomes are recorded on every award either way.
+  SettlementPolicy settlement;
 
   /// Seed of the market's private random stream (exposed via rng()).
   /// The core auction round is fully deterministic and draws nothing from
@@ -196,8 +202,8 @@ class Market {
     std::vector<BidOrigin> origin;
     /// Per-agent count of bids (for outcome fan-back).
     std::vector<std::size_t> per_agent;
-    /// External bids that failed validation at the gate (reported).
-    std::size_t external_rejected = 0;
+    /// External bids bounced at the gate, with the reason (reported).
+    std::vector<ExternalRejection> external_rejections;
   };
 
   /// The §I quota bootstrap for one job, shared by construction (every
@@ -209,10 +215,6 @@ class Market {
   CollectedBids CollectBids(const std::vector<double>& reserve,
                             const std::vector<double>& utilization,
                             const std::vector<double>& free_supply);
-
-  void ApplyPhysicalSettlement(const CollectedBids& collected,
-                               const auction::Settlement& settlement,
-                               AuctionReport& report);
 
   void RecordTrades(const CollectedBids& collected,
                     const auction::Settlement& settlement,

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "auction/settlement.h"
@@ -26,6 +27,48 @@ struct TradeSample {
   std::string team;
 };
 
+/// One buy-side pool slice of an award: what the auction awarded versus
+/// what the bin-packer physically delivered.
+struct PoolFill {
+  PoolId pool = 0;
+  /// Units won at auction, net of same-pool sell items (> 0) — the
+  /// quantity the quota grant and the payment actually covered.
+  double awarded = 0.0;
+  double placed = 0.0;  // Units materialized as placed jobs.
+};
+
+/// The physical fate of one award — §V.B ties market awards to real
+/// reconfiguration, so every AwardRecord carries one. Sells release
+/// capacity at whole-job granularity and cannot "fail"; the outcome
+/// therefore tracks the buy side, where bin-packing can.
+struct PlacementOutcome {
+  enum class Status {
+    kPlaced,   // Every bought unit landed (vacuously true for pure sells).
+    kPartial,  // Some clusters placed, others failed.
+    kFailed,   // No bought unit landed.
+  };
+  Status status = Status::kPlaced;
+
+  /// Resident-arbitrageur trades move quota (warehouse), never jobs; no
+  /// physical placement was intended.
+  bool quota_only = false;
+
+  /// Buy-side pools in cluster-delta order (deterministic).
+  std::vector<PoolFill> fills;
+
+  double awarded_units = 0.0;   // Σ fills[i].awarded.
+  double placed_units = 0.0;    // Σ fills[i].placed.
+  /// Units whose entitlement was handed back with the refund — equal to
+  /// awarded − placed when SettlementPolicy::refund_unplaced is on, zero
+  /// when the gate is off (the legacy quota-only settle).
+  double refunded_units = 0.0;
+  /// Dollars returned to the team for unplaced units (0 with the gate
+  /// off); priced pro rata at the settled pool prices.
+  double refund = 0.0;
+};
+
+std::string_view ToString(PlacementOutcome::Status status);
+
 /// One settled award, for billing detail and premium analysis.
 struct AwardRecord {
   std::string team;
@@ -33,6 +76,7 @@ struct AwardRecord {
   int bundle_index = -1;
   double payment = 0.0;   // Positive pays, negative receives.
   double premium = 0.0;   // γ_u of Eq. (5); NaN for zero payments.
+  PlacementOutcome outcome;
 };
 
 /// A physical migration executed after settlement.
@@ -41,7 +85,22 @@ struct MoveRecord {
   std::string from_cluster;  // Empty for pure growth.
   std::string to_cluster;    // Empty for pure shrink.
   cluster::TaskShape amount;
+  /// §V.B reconfiguration cost of the move (weights · amount); zero when
+  /// SettlementPolicy::move_cost_weights is unset.
+  double reconfig_cost = 0.0;
 };
+
+/// A federation-routed bid bounced at the external-bid gate, with why —
+/// budget (buy limit clamped to an empty local budget) or validation
+/// (malformed as submitted). Routing layers assert on the reason.
+struct ExternalRejection {
+  enum class Reason { kBudget, kValidation };
+  std::string team;
+  std::string bid_name;
+  Reason reason = Reason::kValidation;
+};
+
+std::string_view ToString(ExternalRejection::Reason reason);
 
 /// Everything recorded about one auction round.
 struct AuctionReport {
@@ -58,6 +117,8 @@ struct AuctionReport {
   /// External (federation-routed) bids rejected at the budget/validation
   /// gate and therefore never seen by the auction.
   std::size_t external_rejected = 0;
+  /// Per-bid detail for the rejections (size == external_rejected).
+  std::vector<ExternalRejection> external_rejections;
   int rounds = 0;
   bool converged = false;
   long long demand_evaluations = 0;
@@ -81,7 +142,9 @@ struct AuctionReport {
   std::size_t jobs_added = 0;
   std::size_t jobs_removed = 0;
   std::size_t placement_failures = 0;  // Quota won but bin-packing failed.
+  std::size_t partial_placements = 0;  // Awards with Status::kPartial.
   std::size_t overdrafts = 0;          // Budget violations at settlement.
+  double refund_total = 0.0;  // Dollars refunded for unplaced units.
 
   // Fleet health after the round.
   std::vector<double> post_utilization;
@@ -104,5 +167,13 @@ stats::BoxplotSummary TradeBoxplot(const AuctionReport& report,
 /// per-pool utilization, as percentage points) — the shortage/surplus
 /// metric tracked by the reserve ablation and the timeline bench.
 double UtilizationSpread(const std::vector<double>& utilization);
+
+/// Unit-weighted placement-failure rate over the last `window` reports:
+/// Σ (awarded − placed) / Σ awarded across every award's buy-side
+/// outcome, 0 when nothing was awarded. The federation router folds this
+/// into shard heat — a shard that keeps winning quota it cannot place is
+/// hot in a way reserve prices alone do not show.
+double RecentPlacementFailureRate(const std::vector<AuctionReport>& history,
+                                  int window);
 
 }  // namespace pm::exchange

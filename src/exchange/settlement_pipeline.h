@@ -1,0 +1,110 @@
+// planetmarket: the outcome-aware settlement pipeline (§V.B).
+//
+// A converged auction produces awards; this pipeline is everything that
+// happens to one award afterwards, in order:
+//
+//   billing   ──► the team pays (or is paid) the uniform price x_u·p
+//   quota     ──► bought entitlements granted, sold entitlements released
+//   placement ──► sells vacate whole jobs; buys bin-pack into new jobs
+//   outcome   ──► every AwardRecord carries a PlacementOutcome: which
+//                 pool-level fill intents landed physically and which did
+//                 not (a won bid is only worth its quota if the
+//                 bin-packer can place it)
+//   refund    ──► [gate: refund_unplaced] unplaced buy units hand their
+//                 entitlement back and are refunded pro rata at the
+//                 settled pool prices
+//   pricing   ──► [gate: move_cost_weights] executed MoveRecords carry
+//                 the §V.B reconfiguration cost weights · moved shape
+//
+// With both gates at their defaults the pipeline reproduces the legacy
+// Market settlement bit for bit — same ledger journal, same quota table,
+// same fleet mutations, in the same order — and only *adds* the recorded
+// outcomes. Upstream layers (federation arbitrage warehouse, router
+// heat, fleet rebalancer) consume the outcomes so the planet economy
+// tracks real resource delivery, not auction-layer promises.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "agents/team.h"
+#include "auction/settlement.h"
+#include "cluster/fleet.h"
+#include "cluster/quota.h"
+#include "exchange/accounts.h"
+#include "exchange/report.h"
+
+namespace pm::exchange {
+
+/// Settlement behavior gates. Defaults reproduce the legacy (quota-only,
+/// unpriced) settlement exactly.
+struct SettlementPolicy {
+  /// When on, a buy's unplaced units hand their entitlement back and the
+  /// team is refunded qty × settled price per unplaced pool unit (the
+  /// operator pays; for federated teams the refund is swept back to the
+  /// FederationTreasury with the rest of the local balance). Off: the
+  /// team keeps quota-only entitlement and its money — the legacy path.
+  bool refund_unplaced = false;
+
+  /// §V.B reconfiguration cost per moved unit (cpu / ram_gb / disk_tb).
+  /// All-zero leaves MoveRecord::reconfig_cost at 0 — moves stay
+  /// unpriced, the legacy behavior. Costs are recorded, not billed.
+  cluster::TaskShape move_cost_weights;
+};
+
+/// Executes the settlement of one auction round against live market
+/// state. Built per round by Market::RunAuction; stateless between
+/// rounds except through the structures it mutates.
+class SettlementPipeline {
+ public:
+  /// One award joined with its bid and billing identity. `agent` is the
+  /// resident agent index for resident bids, kExternalAgent for
+  /// federation-routed ones.
+  struct AwardInput {
+    static constexpr std::size_t kExternalAgent =
+        static_cast<std::size_t>(-1);
+    const bid::Bid* bid = nullptr;
+    const auction::Award* award = nullptr;
+    std::string team;
+    std::size_t agent = kExternalAgent;
+
+    bool IsExternal() const { return agent == kExternalAgent; }
+  };
+
+  SettlementPipeline(cluster::Fleet* fleet,
+                     std::vector<agents::TeamAgent>* agents,
+                     cluster::QuotaTable* quota, MarketAccounts* accounts,
+                     const SettlementPolicy& policy,
+                     const cluster::TaskShape& max_task_shape,
+                     cluster::JobId* next_job_id);
+
+  /// Settles every award end to end (billing → quota → placement →
+  /// outcome → refund → move pricing), appending AwardRecords, moves,
+  /// and counters to `report`. `settled_prices` are the round's uniform
+  /// clearing prices (refund pricing reads them).
+  void Execute(const std::vector<AwardInput>& awards,
+               const std::vector<double>& settled_prices,
+               AuctionReport& report);
+
+ private:
+  /// Billing: the team pays/receives |payment|; overdrafts are covered
+  /// loudly (counted on the report) so the quota commitment stands.
+  void SettleMoney(const AwardInput& input, AuctionReport& report);
+
+  /// Quota, physical placement, outcome recording, gated refund, and
+  /// move pricing for one award.
+  void ApplyPhysical(const AwardInput& input,
+                     const std::vector<double>& settled_prices,
+                     AwardRecord& record, AuctionReport& report);
+
+  cluster::Fleet* fleet_;
+  std::vector<agents::TeamAgent>* agents_;
+  cluster::QuotaTable* quota_;
+  MarketAccounts* accounts_;
+  const SettlementPolicy& policy_;
+  const cluster::TaskShape& max_task_shape_;
+  cluster::JobId* next_job_id_;
+};
+
+}  // namespace pm::exchange

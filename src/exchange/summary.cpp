@@ -53,6 +53,12 @@ std::string RenderMarketSummary(const Market& market) {
        << last->num_bids << " bids, " << last->num_winners
        << " settled, " << FormatPct(last->settled_fraction, 1)
        << " settle rate)\n";
+    if (last->placement_failures + last->partial_placements > 0 ||
+        last->refund_total > 0.0) {
+      os << "placement: " << last->placement_failures << " failures, "
+         << last->partial_placements << " partial awards, refunds $"
+         << FormatF(last->refund_total, 2) << '\n';
+    }
   } else {
     os << "pre-market state (prices shown are reserve prices)\n";
   }

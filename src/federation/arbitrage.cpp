@@ -117,6 +117,31 @@ std::vector<ArbitragePlan> ArbitrageAgent::PlanEpoch(
                    : std::numeric_limits<double>::quiet_NaN();
   }
 
+  // Risk pass: mark the warehouse to this epoch's price signal and run
+  // the drawdown stop. Unpriced kinds carry at basis (zero unrealized).
+  {
+    double mark = 0.0;
+    for (std::size_t k = 0; k < holdings_.size(); ++k) {
+      std::vector<PoolId> held;
+      held.reserve(holdings_[k].size());
+      for (const auto& [pool, holding] : holdings_[k]) {
+        held.push_back(pool);
+      }
+      std::sort(held.begin(), held.end());  // Deterministic FP order.
+      for (const PoolId pool : held) {
+        const Holding& holding = holdings_[k].at(pool);
+        if (k >= views.size() || pool >= fleets[k]->registry().size()) {
+          continue;
+        }
+        const ResourceKind kind = fleets[k]->registry().KeyOf(pool).kind;
+        const double price = signal[k][KindIndex(kind)];
+        if (std::isnan(price) || price <= 0.0) continue;
+        mark += holding.units * (price - holding.basis);
+      }
+    }
+    UpdateRisk(mark);
+  }
+
   // Buy targets first (the decision, not yet the bids): per kind, the
   // cheapest shard when the cross-shard spread clears min_spread.
   std::array<std::size_t, kNumResourceKinds> buy_target;
@@ -196,8 +221,10 @@ std::vector<ArbitragePlan> ArbitrageAgent::PlanEpoch(
   }
 
   // Buys: materialize the targets chosen above (lowest shard/pool index
-  // wins ties).
+  // wins ties) — unless the drawdown stop tripped: a warehouse deep
+  // under water stops averaging down and lets the sell side de-risk.
   for (ResourceKind kind : kAllResourceKinds) {
+    if (halted_) break;
     const std::size_t cheap = buy_target[KindIndex(kind)];
     if (cheap == views.size()) continue;
     const double price_cheap = signal[cheap][KindIndex(kind)];
@@ -241,6 +268,15 @@ std::vector<ArbitragePlan> ArbitrageAgent::PlanEpoch(
   return last_plans_;
 }
 
+void ArbitrageAgent::UpdateRisk(double mark_to_market) {
+  mark_to_market_ = mark_to_market;
+  const double equity = realized_pnl_ + mark_to_market_;
+  peak_equity_ = std::max(peak_equity_, equity);
+  halted_ = config_.drawdown_stop > 0.0 &&
+            peak_equity_ - equity >
+                config_.drawdown_stop * config_.margin.ToDouble();
+}
+
 void ArbitrageAgent::ObserveEpoch(const FederationReport& report) {
   if (holdings_.size() < report.shards.size()) {
     holdings_.resize(report.shards.size());
@@ -251,6 +287,25 @@ void ArbitrageAgent::ObserveEpoch(const FederationReport& report) {
     for (const exchange::AwardRecord& award : shard.awards) {
       if (award.team != config_.team) continue;
       if (award.bid_name != plan.bid.name) continue;
+      if (plan.is_buy && config_.outcome_aware) {
+        // Exact physical backing: only the units the bin-packer landed
+        // enter the warehouse, at cost net of the unplaced-unit refund.
+        const exchange::PlacementOutcome& outcome = award.outcome;
+        if (outcome.placed_units <= 0.0) continue;
+        const double paid =
+            std::max(0.0, std::abs(award.payment) - outcome.refund);
+        const double per_unit = paid / outcome.placed_units;
+        for (const exchange::PoolFill& fill : outcome.fills) {
+          if (fill.placed <= 0.0) continue;
+          Holding& holding = holdings_[plan.shard][fill.pool];
+          const double total = holding.units + fill.placed;
+          holding.basis = (holding.basis * holding.units +
+                           per_unit * fill.placed) /
+                          total;
+          holding.units = total;
+        }
+        continue;
+      }
       // award.payment covers the whole bundle; spread it over the items
       // in proportion to quantity (pools of one kind clear near one
       // another, and the warehouse basis is bookkeeping, not settlement).

@@ -76,6 +76,21 @@ struct ArbitrageConfig {
 
   /// Trades below this many units are not worth placing.
   double min_trade_units = 1.0;
+
+  // ---------------------------------------------- outcome-aware gates --
+  /// Warehouse accounting reads each award's PlacementOutcome: only
+  /// physically placed units enter, at cost net of any unplaced-unit
+  /// refund — the warehouse tracks exact physical backing instead of
+  /// quota-layer promises. Off (default) keeps the quota-based
+  /// accounting bit for bit.
+  bool outcome_aware = false;
+
+  /// Mark-to-market drawdown stop: each epoch the warehouse is valued at
+  /// the previous epoch's median prices; when equity (realized P&L +
+  /// unrealized value over basis) falls more than this fraction of the
+  /// margin below its running peak, new buys halt (sells continue — they
+  /// shed risk). 0 (default) disables the stop.
+  double drawdown_stop = 0.0;
 };
 
 /// One bid the agent decided to place this epoch. (A sell bundle can mix
@@ -113,9 +128,11 @@ class ArbitrageAgent {
 
   /// Digests the epoch's outcome: settled buys enter the warehouse at
   /// their realized unit price, settled sells leave it and realize P&L.
-  /// The warehouse is quota-backed; it matches the physically placed
-  /// jobs except when a shard's bin-packing failed a won buy (awards do
-  /// not carry placement outcomes yet — ROADMAP follow-up), in which
+  /// With ArbitrageConfig::outcome_aware the buy side reads each
+  /// award's PlacementOutcome — only physically placed units enter, at
+  /// cost net of refunds, so the warehouse is exact physical backing.
+  /// Without it the warehouse is quota-backed: it matches the placed
+  /// jobs except when a shard's bin-packing failed a won buy, in which
   /// case a later sell settles quota-only through the market's
   /// dead-cluster/no-job guards.
   void ObserveEpoch(const FederationReport& report);
@@ -142,6 +159,20 @@ class ArbitrageAgent {
   double TotalHoldingsUnits() const;
   double RealizedPnl() const { return realized_pnl_; }
 
+  /// Unrealized warehouse value over basis at the most recent epoch's
+  /// price signal (updated by PlanEpoch; holdings of unpriced kinds are
+  /// carried at basis, contributing zero).
+  double MarkToMarket() const { return mark_to_market_; }
+  /// Running peak of equity = realized P&L + mark-to-market.
+  double PeakEquity() const { return peak_equity_; }
+  /// Whether the drawdown stop is currently suppressing new buys.
+  bool Halted() const { return halted_; }
+
+  /// Digests one epoch's mark-to-market into the equity peak and the
+  /// halt flag (called by PlanEpoch; public so the risk rule is testable
+  /// without fabricating a whole federation).
+  void UpdateRisk(double mark_to_market);
+
   /// The per-(shard, kind) price signal: median settled price over the
   /// shard's positive-capacity pools of that kind, NaN when the kind has
   /// no priced pool there. Exposed for the bench and tests.
@@ -160,6 +191,9 @@ class ArbitrageAgent {
   std::vector<std::unordered_map<PoolId, Holding>> holdings_;  // Per shard.
   std::vector<ArbitragePlan> last_plans_;
   double realized_pnl_ = 0.0;
+  double mark_to_market_ = 0.0;
+  double peak_equity_ = 0.0;
+  bool halted_ = false;
 };
 
 }  // namespace pm::federation

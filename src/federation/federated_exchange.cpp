@@ -121,6 +121,15 @@ std::vector<ShardView> FederatedExchange::BuildShardViews() const {
       units *= shard->market->supply_fraction();
     }
     view.fixed_prices = shard->market->fixed_prices();
+    // Outcome feedback for the router: the unit-weighted fraction of
+    // recently awarded buys this shard failed to place. Only computed
+    // when the router actually folds it into heat — the scan over
+    // recent awards is wasted work otherwise.
+    view.placement_failure_rate =
+        config_.router.failure_heat_weight > 0.0
+            ? exchange::RecentPlacementFailureRate(
+                  shard->market->History(), config_.router.failure_window)
+            : 0.0;
     views.push_back(std::move(view));
   }
   return views;
@@ -262,7 +271,19 @@ FederationReport FederatedExchange::RunEpoch() {
   if (!pending_.empty()) {
     ensure_views();
     MarketRouter router(config_.router, std::move(views));
-    routing = router.Route(pending_);
+    if (treasury_ != nullptr && config_.router.budget_pressure > 0.0) {
+      // Treasury-aware routing: a team low on planet money spills to
+      // cheaper shards earlier (its effective spill threshold tightens
+      // with its remaining balance).
+      std::unordered_map<std::string, double> balances;
+      for (const std::string& team : treasury_->Teams()) {
+        balances.emplace(team,
+                         treasury_->PlanetBalance(team).ToDouble());
+      }
+      routing = router.Route(pending_, balances);
+    } else {
+      routing = router.Route(pending_);
+    }
     pending_.clear();
     for (const RoutedBid& routed : routing.routed) {
       shards_[routed.shard]->market->SubmitExternalBid(
@@ -305,6 +326,8 @@ FederationReport FederatedExchange::RunEpoch() {
     report.arbitrage.sells_planned = arb_sells_submitted;
     report.arbitrage.holdings_units = arbitrage_->TotalHoldingsUnits();
     report.arbitrage.realized_pnl = arbitrage_->RealizedPnl();
+    report.arbitrage.mark_to_market = arbitrage_->MarkToMarket();
+    report.arbitrage.halted = arbitrage_->Halted();
   }
 
   // 5. Settlement sweep: every federated team's shard-local balance is
@@ -391,6 +414,8 @@ ClusterMigration FederatedExchange::ApplyMigration(
   record.to_shard = plan.to_shard;
   record.from_util = plan.from_util;
   record.to_util = plan.to_util;
+  record.move_cost = plan.move_cost;
+  record.expected_benefit = plan.expected_benefit;
   return record;
 }
 

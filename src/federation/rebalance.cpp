@@ -93,7 +93,6 @@ std::vector<MigrationPlan> FleetRebalancer::Observe(
     }
   }
   if (donor_shard == fleets.size()) return plans;  // Nobody can donate.
-  streak_ = 0;
   cool = donor_shard;
   const cluster::Fleet& donor = *fleets[cool];
   struct Candidate {
@@ -116,18 +115,40 @@ std::vector<MigrationPlan> FleetRebalancer::Observe(
               return a.name < b.name;
             });
 
+  // §V.B pricing gate: a move costs move_cost_weights · used shape (the
+  // jobs re-homed with the cluster) and is expected to deliver the
+  // donor→receiver spread times the donated free units. Candidates whose
+  // priced cost exceeds the expected benefit stay put — with the default
+  // all-zero weights every candidate clears, the legacy behavior.
+  const double move_spread = utils[hot] - utils[cool];
   const std::size_t moves =
       std::min(config_.max_migrations_per_epoch,
                donor.NumClusters() - 1);  // Keep one behind.
-  for (std::size_t i = 0; i < moves && i < candidates.size(); ++i) {
+  for (std::size_t i = 0; i < candidates.size() && plans.size() < moves;
+       ++i) {
+    const cluster::Cluster& cl = donor.ClusterByName(candidates[i].name);
+    cluster::TaskShape used;
+    cluster::TaskShape free;
+    for (ResourceKind kind : kAllResourceKinds) {
+      used.Of(kind) = cl.Used(kind);
+      free.Of(kind) = cl.Free(kind);
+    }
     MigrationPlan plan;
     plan.from_shard = cool;
     plan.to_shard = hot;
     plan.cluster = candidates[i].name;
     plan.from_util = utils[cool];
     plan.to_util = utils[hot];
+    plan.move_cost = cluster::Dot(used, config_.move_cost_weights);
+    plan.expected_benefit = move_spread * cluster::TotalUnits(free) *
+                            config_.benefit_per_free_unit;
+    if (plan.expected_benefit < plan.move_cost) continue;  // Not worth it.
     plans.push_back(std::move(plan));
   }
+  // The streak is consumed only by an executed migration; an epoch where
+  // every candidate failed the donate/pricing gates keeps counting, so
+  // persistent imbalance is not re-counted from scratch.
+  if (!plans.empty()) streak_ = 0;
   return plans;
 }
 

@@ -47,6 +47,19 @@ struct RebalanceConfig {
 
   /// Seed for deterministic tie-breaks among equally-cool clusters.
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+
+  // ----------------------------------------------- §V.B move pricing --
+  /// Reconfiguration cost per unit of *used* capacity travelling with a
+  /// migrated cluster — the running jobs that must be re-homed across
+  /// shard boundaries. All-zero (default) keeps migrations free: every
+  /// candidate clears the gate, the legacy behavior.
+  cluster::TaskShape move_cost_weights;
+
+  /// Dollar value the hot shard gains per unit of donated *free*
+  /// capacity per point of utilization spread. The gate: a candidate
+  /// migrates only when spread × free units × benefit_per_free_unit ≥
+  /// its priced move cost.
+  double benefit_per_free_unit = 1.0;
 };
 
 /// One planned cluster move (executed by FederatedExchange).
@@ -56,6 +69,8 @@ struct MigrationPlan {
   std::string cluster;         // Cluster name within the donor fleet.
   double from_util = 0.0;      // Donor's percentile utilization.
   double to_util = 0.0;        // Receiver's percentile utilization.
+  double move_cost = 0.0;      // Priced §V.B reconfiguration cost.
+  double expected_benefit = 0.0;  // What the spread relief is worth.
 };
 
 /// Watches epoch reports and decides when capacity moves.

@@ -27,6 +27,9 @@ FederationReport BuildFederationReport(
     report.rejected_parts += r.external_rejected;
     report.total_moves += r.moves.size();
     report.operator_revenue += r.operator_revenue;
+    report.placement_failures += r.placement_failures;
+    report.partial_placements += r.partial_placements;
+    report.refund_total += r.refund_total;
     report.demand_evaluations += r.demand_evaluations;
     report.transport_messages += r.transport_messages;
     report.transport_bytes += r.transport_bytes;
@@ -73,6 +76,9 @@ std::string RenderFederationSummary(const FederationReport& report) {
   os << "routing: " << report.routing.size() << " federated bids -> "
      << report.routed_parts << " parts, " << report.spilled_bids
      << " spilled, " << report.rejected_parts << " rejected at the gate\n";
+  os << "placement: " << report.placement_failures << " failures, "
+     << report.partial_placements << " partial awards, refunds $"
+     << FormatF(report.refund_total, 2) << '\n';
   os << "utilization spread " << FormatF(report.utilization_spread, 2)
      << " pp";
   if (!report.utilization_deciles.empty()) {
@@ -96,7 +102,11 @@ std::string RenderFederationSummary(const FederationReport& report) {
        << report.arbitrage.sells_planned << " sells, warehouse "
        << FormatF(report.arbitrage.holdings_units, 1)
        << " units, realized P&L $"
-       << FormatF(report.arbitrage.realized_pnl, 2) << '\n';
+       << FormatF(report.arbitrage.realized_pnl, 2) << ", mark $"
+       << FormatF(report.arbitrage.mark_to_market, 2)
+       << (report.arbitrage.halted ? " [drawdown stop: buys halted]"
+                                   : "")
+       << '\n';
   }
   for (const ClusterMigration& migration : report.migrations) {
     os << "rebalance: cluster " << migration.cluster << " (shard "
@@ -104,7 +114,13 @@ std::string RenderFederationSummary(const FederationReport& report) {
        << FormatPct(migration.from_util, 0) << ") -> shard "
        << migration.to_shard << " (util "
        << FormatPct(migration.to_util, 0) << ") as "
-       << migration.adopted_name << '\n';
+       << migration.adopted_name;
+    if (migration.move_cost > 0.0) {
+      os << " (move cost $" << FormatF(migration.move_cost, 2)
+         << " vs benefit $" << FormatF(migration.expected_benefit, 2)
+         << ")";
+    }
+    os << '\n';
   }
   return os.str();
 }

@@ -45,6 +45,8 @@ struct ArbitrageSummary {
   std::size_t sells_planned = 0;
   double holdings_units = 0.0;  // Warehoused units across all shards.
   double realized_pnl = 0.0;    // Cumulative realized arbitrage P&L.
+  double mark_to_market = 0.0;  // Unrealized value over basis.
+  bool halted = false;          // Drawdown stop suppressing new buys.
 };
 
 /// One whole-cluster migration executed by the fleet rebalancer.
@@ -55,6 +57,8 @@ struct ClusterMigration {
   std::size_t to_shard = 0;
   double from_util = 0.0;  // Donor percentile utilization at decision.
   double to_util = 0.0;    // Receiver percentile utilization at decision.
+  double move_cost = 0.0;  // Priced §V.B reconfiguration cost (0 = free).
+  double expected_benefit = 0.0;  // Benefit the pricing gate credited.
 };
 
 /// Everything recorded about one federated epoch.
@@ -78,6 +82,13 @@ struct FederationReport {
   std::size_t spilled_bids = 0;   // Federated bids re-routed off their
                                   // preferred shard.
   double operator_revenue = 0.0;
+  /// Placement outcomes across every shard: awards whose buy side failed
+  /// (entirely or partially) the bin-packing step, and the dollars
+  /// refunded for unplaced units (zero unless the shards'
+  /// SettlementPolicy::refund_unplaced gate is on).
+  std::size_t placement_failures = 0;
+  std::size_t partial_placements = 0;
+  double refund_total = 0.0;
   long long demand_evaluations = 0;
   long long transport_messages = 0;  // Wire traffic (proxy-node shards).
   long long transport_bytes = 0;
