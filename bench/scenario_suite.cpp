@@ -1,0 +1,94 @@
+// Scenario suite: sweep every registered scenario at its default epoch
+// count, record wall time, headline metrics and SLO verdicts, and emit
+// BENCH_scenario_suite.json (with machine-collected host metadata).
+//
+// The per-scenario metrics JSON is deterministic (docs/scenarios.md);
+// only the wall-time numbers and the host block vary across machines.
+//
+//   $ ./bench_scenario_suite [--epochs E] [--seed S]
+//   defaults: each scenario's default_epochs, seed 20090425
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/bench_meta.h"
+#include "common/table.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+int main(int argc, char** argv) {
+  pm::scenario::RunnerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--epochs" && i + 1 < argc) {
+      config.epochs = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "usage: bench_scenario_suite [--epochs E] [--seed S]\n";
+      return 2;
+    }
+  }
+
+  struct Row {
+    pm::scenario::ScenarioMetrics metrics;
+    double wall_ms = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const pm::scenario::ScenarioSpec& spec :
+       pm::scenario::ScenarioLibrary()) {
+    pm::scenario::ScenarioRunner runner(spec, config);
+    const auto start = std::chrono::steady_clock::now();
+    Row row;
+    row.metrics = runner.Run();
+    row.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    rows.push_back(std::move(row));
+  }
+
+  pm::TextTable table({"scenario", "epochs", "wall ms", "refunds",
+                       "failures", "peak spread", "slo"});
+  bool all_pass = true;
+  for (const Row& row : rows) {
+    const pm::scenario::ScenarioMetrics& m = row.metrics;
+    all_pass = all_pass && m.slo_pass;
+    table.AddRow({m.scenario, std::to_string(m.epochs),
+                  pm::FormatF(row.wall_ms, 1),
+                  "$" + pm::FormatF(m.refund_total, 2),
+                  std::to_string(m.placement_failures),
+                  pm::FormatF(m.peak_clearing_spread, 4),
+                  m.slos_evaluated ? (m.slo_pass ? "pass" : "FAIL")
+                                   : "skipped"});
+  }
+  std::cout << table.Render();
+
+  std::ofstream json("BENCH_scenario_suite.json");
+  json << "{\n  \"benchmark\": \"scenario_suite\",\n";
+  json << "  \"metadata\": {\n"
+       << "    \"seed\": " << config.seed << ",\n"
+       << "    \"epochs_override\": " << config.epochs << ",\n"
+       << "    \"scenarios\": " << rows.size() << ",\n"
+       << "    \"host\": " << pm::HostMetadataJson() << "\n  },\n";
+  json << "  \"all_slos_pass\": " << (all_pass ? "true" : "false")
+       << ",\n";
+  json << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"wall_ms\": " << pm::FormatF(row.wall_ms, 2)
+         << ", \"metrics\": ";
+    // Indent the nested metrics document to keep the file readable.
+    const std::string metrics = row.metrics.ToJson();
+    for (char c : metrics.substr(0, metrics.size() - 1)) {  // Trim "\n".
+      json << c;
+      if (c == '\n') json << "    ";
+    }
+    json << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_scenario_suite.json\n";
+  return all_pass ? 0 : 1;
+}

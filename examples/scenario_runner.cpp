@@ -1,0 +1,114 @@
+// Scenario CLI: run one named scenario and emit its metrics JSON.
+//
+//   $ ./example_scenario_runner --scenario shard-outage [--seed S]
+//         [--epochs E] [--threads T] [--out FILE] [--quiet]
+//   $ ./example_scenario_runner --list
+//
+// The JSON is byte-identical for identical (scenario, seed, epochs) —
+// the determinism contract of docs/scenarios.md — so piping two runs
+// through `diff` is a valid reproducibility check. Exit status: 0 on
+// success (including runs too short for SLO evaluation), 1 when an
+// evaluated SLO failed, 2 on usage errors.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: example_scenario_runner --scenario NAME "
+               "[--seed S] [--epochs E] [--threads T] [--out FILE] "
+               "[--quiet]\n       example_scenario_runner --list\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name;
+  std::string out;
+  pm::scenario::RunnerConfig config;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      for (const std::string& s : pm::scenario::ScenarioNames()) {
+        const pm::scenario::ScenarioSpec& spec =
+            pm::scenario::FindScenario(s);
+        std::cout << s << " — " << spec.description << "\n";
+      }
+      return 0;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      name = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.epochs = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      config.num_threads = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      out = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (name.empty()) return Usage();
+
+  bool known = false;
+  for (const std::string& s : pm::scenario::ScenarioNames()) {
+    known = known || s == name;
+  }
+  if (!known) {
+    std::cerr << "unknown scenario '" << name << "'; --list shows them\n";
+    return 2;
+  }
+
+  pm::scenario::ScenarioRunner runner(pm::scenario::FindScenario(name),
+                                      config);
+  const pm::scenario::ScenarioMetrics metrics = runner.Run();
+  const std::string json = metrics.ToJson();
+
+  if (!out.empty()) {
+    std::ofstream file(out);
+    file << json;
+    if (!quiet) std::cerr << "wrote " << out << "\n";
+  } else {
+    std::cout << json;
+  }
+  if (!quiet) {
+    std::cerr << "scenario " << name << ": " << metrics.epochs
+              << " epochs, refunds $" << metrics.refund_total
+              << ", placement failures " << metrics.placement_failures
+              << ", SLOs "
+              << (metrics.slos_evaluated
+                      ? (metrics.slo_pass ? "PASS" : "FAIL")
+                      : "skipped (run too short)")
+              << "\n";
+    for (const pm::scenario::SloResult& slo : metrics.slos) {
+      std::cerr << "  [" << (slo.pass ? "ok" : "FAIL") << "] " << slo.name
+                << ": " << slo.detail << "\n";
+    }
+  }
+  return metrics.slos_evaluated && !metrics.slo_pass ? 1 : 0;
+}

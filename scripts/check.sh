@@ -9,7 +9,9 @@
 #                                # asan-ubsan, build-sanitize/ tree)
 #
 # Labels (defined in CMakeLists.txt): tier1 = every gtest suite,
-# bench-smoke = tiny bench runs, slow = anything over ~1 s.
+# bench-smoke = tiny bench runs plus the 1-epoch scenario smokes
+# (one ctest entry per registered scenario and one for the suite
+# emitter), slow = anything over ~1 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -20,6 +20,11 @@ cluster::TaskShape GrowthDelta(const TeamProfile& profile) {
 }
 
 /// Clusters sorted by believed cost of hosting `delta`, cheapest first.
+/// Cost is scaled by the placement-penalty factor, and chronically
+/// unplaceable clusters (penalty >= kPlacementPenaltyAvoid) are dropped;
+/// with no placement memory (the outcome_feedback-off path) every factor
+/// is exactly 1 and nothing is dropped, so the ranking is bit-identical
+/// to the price-only ordering.
 std::vector<std::string> ClustersByBelievedCost(
     const StrategyContext& ctx, const cluster::TaskShape& delta) {
   const PoolRegistry& registry = *ctx.view->registry;
@@ -27,8 +32,12 @@ std::vector<std::string> ClustersByBelievedCost(
   std::vector<std::pair<double, std::string>> ranked;
   ranked.reserve(clusters.size());
   for (std::string& c : clusters) {
+    const double penalty =
+        ClusterPlacementPenalty(registry, ctx.placement_penalty, c);
+    if (penalty >= kPlacementPenaltyAvoid) continue;
     const double cost =
-        BelievedClusterCost(registry, *ctx.learner, c, delta);
+        BelievedClusterCost(registry, *ctx.learner, c, delta) *
+        (1.0 + kPlacementPenaltyWeight * penalty);
     ranked.emplace_back(cost, std::move(c));
   }
   std::sort(ranked.begin(), ranked.end());
@@ -155,12 +164,22 @@ class OpportunistMoverStrategy final : public Strategy {
         registry, *ctx.learner, profile.home_cluster, slice);
     std::string best;
     double best_cost = std::numeric_limits<double>::infinity();
+    double best_ranked = std::numeric_limits<double>::infinity();
     for (const std::string& c : registry.Clusters()) {
       if (c == profile.home_cluster) continue;
       if (!FitsFreeCapacity(*ctx.view, c, slice)) continue;
+      // Rank destinations with the placement-failure factor but keep the
+      // raw believed cost for the relocation gate and the bid limit (a
+      // distrusted cluster should lose the ranking, not inflate what the
+      // team is willing to pay elsewhere).
+      const double penalty =
+          ClusterPlacementPenalty(registry, ctx.placement_penalty, c);
+      if (penalty >= kPlacementPenaltyAvoid) continue;
       const double cost =
           BelievedClusterCost(registry, *ctx.learner, c, slice);
-      if (cost < best_cost) {
+      const double ranked = cost * (1.0 + kPlacementPenaltyWeight * penalty);
+      if (ranked < best_ranked) {
+        best_ranked = ranked;
         best_cost = cost;
         best = c;
       }
@@ -327,6 +346,19 @@ class ArbitrageurStrategy final : public Strategy {
 };
 
 }  // namespace
+
+double ClusterPlacementPenalty(const PoolRegistry& registry,
+                               const std::vector<double>* penalty,
+                               const std::string& cluster) {
+  if (penalty == nullptr || penalty->empty()) return 0.0;
+  double worst = 0.0;
+  for (ResourceKind kind : kAllResourceKinds) {
+    const auto id = registry.Find(PoolKey{cluster, kind});
+    if (!id.has_value() || *id >= penalty->size()) continue;
+    worst = std::max(worst, (*penalty)[*id]);
+  }
+  return worst;
+}
 
 bool IsArbitrageBidName(std::string_view bid_name) {
   return bid_name.find("/arb-") != std::string_view::npos;

@@ -36,6 +36,12 @@ struct StrategyContext {
   PriceLearner* learner = nullptr;
   RandomStream* rng = nullptr;
   std::vector<double>* holdings = nullptr;  // Arbitrage inventory.
+  /// The agent's per-pool placement-failure memory (may be null or
+  /// shorter than the registry; missing pools read as penalty 0). All
+  /// zeros until the market's outcome_feedback gate delivers placement
+  /// feedback, in which case strategies de-prioritize — and past
+  /// kPlacementPenaltyAvoid, skip — chronically unplaceable clusters.
+  const std::vector<double>* placement_penalty = nullptr;
 };
 
 /// Turns market state into this auction's bids.
@@ -71,5 +77,24 @@ double BelievedClusterCost(const PoolRegistry& registry,
                            const PriceLearner& learner,
                            const std::string& cluster,
                            const cluster::TaskShape& delta);
+
+/// Weight of the placement-failure memory in cluster ranking: candidate
+/// clusters are ordered by believed cost × (1 + weight × penalty), so a
+/// fully distrusted cluster (penalty 1) reads 3× as expensive. The bid
+/// limits themselves stay anchored to raw believed cost.
+inline constexpr double kPlacementPenaltyWeight = 2.0;
+
+/// Clusters whose penalty meets this bar are skipped outright as growth
+/// or relocation alternatives — the market kept awarding there and the
+/// bin-packer kept failing, so bidding again only burns budget (the
+/// refund path repays money, never the lost auction round).
+inline constexpr double kPlacementPenaltyAvoid = 0.6;
+
+/// The cluster's penalty: the worst per-kind pool score in the agent's
+/// placement memory (0 when the memory is null/empty — the gate-off
+/// path, where every factor below multiplies by exactly 1).
+double ClusterPlacementPenalty(const PoolRegistry& registry,
+                               const std::vector<double>* penalty,
+                               const std::string& cluster);
 
 }  // namespace pm::agents

@@ -1,5 +1,7 @@
 #include "agents/team.h"
 
+#include <algorithm>
+
 #include "agents/strategy.h"
 #include "common/check.h"
 
@@ -50,6 +52,7 @@ std::vector<bid::Bid> TeamAgent::MakeBids(const MarketView& view) {
   ctx.learner = &learner_;
   ctx.rng = &rng_;
   ctx.holdings = &holdings_;
+  ctx.placement_penalty = &placement_penalty_;
   return strategy_->MakeBids(ctx);
 }
 
@@ -62,10 +65,26 @@ void TeamAgent::ExtendPoolSpace(std::span<const double> fixed_prices) {
 void TeamAgent::ObserveOutcome(std::span<const double> settled_prices,
                                const std::vector<BidOutcome>& outcomes) {
   learner_.Observe(settled_prices);
-  // Strategy-independent bookkeeping could use `outcomes` (e.g. morale);
-  // the physical footprint/holdings updates are performed by the exchange
-  // layer, which knows the awarded bundles.
-  (void)outcomes;
+  // Placement memory: only auctions that actually carried placement
+  // feedback (some outcome has awarded buy units) move the penalty EWMA,
+  // so with the market's outcome_feedback gate off this method touches
+  // nothing beyond the price beliefs — the bit-identical contract.
+  bool any_feedback = false;
+  for (const BidOutcome& outcome : outcomes) {
+    any_feedback = any_feedback || outcome.awarded_units > 0.0;
+  }
+  if (!any_feedback) return;
+  placement_penalty_.resize(learner_.NumPools(), 0.0);
+  for (double& penalty : placement_penalty_) {
+    penalty *= 1.0 - kPlacementPenaltyStep;
+  }
+  for (const BidOutcome& outcome : outcomes) {
+    for (PoolId pool : outcome.unplaced_pools) {
+      if (pool >= placement_penalty_.size()) continue;
+      placement_penalty_[pool] =
+          std::min(1.0, placement_penalty_[pool] + kPlacementPenaltyStep);
+    }
+  }
 }
 
 }  // namespace pm::agents

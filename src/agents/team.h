@@ -69,7 +69,22 @@ struct BidOutcome {
   bool won = false;
   int bundle_index = -1;
   double payment = 0.0;  // Positive pays, negative receives.
+
+  // Placement feedback, threaded from the settlement pipeline's
+  // PlacementOutcome only when the market's outcome_feedback gate is on
+  // (zero/empty otherwise, which leaves the agent's placement memory —
+  // and therefore every bid it will ever make — bit-identical to the
+  // price-only learner).
+  double awarded_units = 0.0;  // Buy-side units won at auction.
+  double placed_units = 0.0;   // Units that physically landed.
+  std::vector<PoolId> unplaced_pools;  // Pools whose fill fell short.
 };
+
+/// EWMA step of the placement-failure memory: every feedback-carrying
+/// auction decays each pool's penalty by (1 − step) and bumps pools whose
+/// awarded units failed to land by step (clamped to 1). ~3 consecutive
+/// failures push a pool past 0.65; ~6 clean auctions forgive it.
+inline constexpr double kPlacementPenaltyStep = 0.3;
 
 class Strategy;  // strategy.h
 
@@ -112,12 +127,23 @@ class TeamAgent {
   const std::vector<double>& holdings() const { return holdings_; }
   std::vector<double>& mutable_holdings() { return holdings_; }
 
+  /// Per-pool placement-failure memory in [0, 1]: an EWMA of "this pool's
+  /// awarded units did not land physically", updated by ObserveOutcome
+  /// from the BidOutcome placement feedback. Empty until the first
+  /// feedback arrives (never, when the market's outcome_feedback gate is
+  /// off). Strategies fold it into cluster selection so teams stop
+  /// growing into chronically unplaceable clusters.
+  const std::vector<double>& placement_penalty() const {
+    return placement_penalty_;
+  }
+
  private:
   TeamProfile profile_;
   PriceLearner learner_;
   RandomStream rng_;
   std::unique_ptr<Strategy> strategy_;
   std::vector<double> holdings_;
+  std::vector<double> placement_penalty_;
 };
 
 }  // namespace pm::agents

@@ -329,12 +329,26 @@ AuctionReport Market::RunAuction() {
   for (std::size_t a = 0; a < agents_->size(); ++a) {
     outcomes[a].resize(collected.per_agent[a]);
   }
-  for (const auction::Award& award : settlement.awards) {
+  // report.awards is index-aligned with settlement.awards (the pipeline
+  // appends one record per input, in order), so award a's placement
+  // outcome is report.awards[a].outcome.
+  for (std::size_t a = 0; a < settlement.awards.size(); ++a) {
+    const auction::Award& award = settlement.awards[a];
     const BidOrigin& origin = collected.origin[award.user];
     if (origin.IsExternal()) continue;  // No resident agent to notify.
     if (origin.local < outcomes[origin.agent].size()) {
-      outcomes[origin.agent][origin.local] = agents::BidOutcome{
-          true, award.bundle_index, award.payment};
+      agents::BidOutcome outcome{true, award.bundle_index, award.payment};
+      if (config_.outcome_feedback) {
+        const PlacementOutcome& placed = report.awards[a].outcome;
+        outcome.awarded_units = placed.awarded_units;
+        outcome.placed_units = placed.placed_units;
+        for (const PoolFill& fill : placed.fills) {
+          if (fill.placed < fill.awarded) {
+            outcome.unplaced_pools.push_back(fill.pool);
+          }
+        }
+      }
+      outcomes[origin.agent][origin.local] = std::move(outcome);
     }
   }
   for (std::size_t a = 0; a < agents_->size(); ++a) {

@@ -68,6 +68,14 @@ struct MarketConfig {
   /// bit; PlacementOutcomes are recorded on every award either way.
   SettlementPolicy settlement;
 
+  /// When on, each resident agent's BidOutcome carries its award's
+  /// placement outcome (awarded/placed units, the pools whose fill fell
+  /// short), feeding the agents' placement-failure memory so strategies
+  /// down-weight chronically unplaceable clusters. Off (default), the
+  /// outcome fields stay zero and every agent's state — and therefore
+  /// every future epoch — is bit-identical to the price-only learner.
+  bool outcome_feedback = false;
+
   /// Seed of the market's private random stream (exposed via rng()).
   /// The core auction round is fully deterministic and draws nothing from
   /// it; the stream exists for market-scoped stochastic extensions

@@ -88,6 +88,12 @@ struct MoveRecord {
   /// §V.B reconfiguration cost of the move (weights · amount); zero when
   /// SettlementPolicy::move_cost_weights is unset.
   double reconfig_cost = 0.0;
+  /// Dollars actually collected from the moving team — nonzero only
+  /// under SettlementPolicy::bill_moves. Billed on the physically
+  /// placed shape only (a bounced placement reconfigured nothing) and
+  /// clamped to the team's remaining balance at billing time, so it can
+  /// undercut reconfig_cost on partial placements or empty budgets.
+  double billed = 0.0;
 };
 
 /// A federation-routed bid bounced at the external-bid gate, with why —
@@ -145,6 +151,9 @@ struct AuctionReport {
   std::size_t partial_placements = 0;  // Awards with Status::kPartial.
   std::size_t overdrafts = 0;          // Budget violations at settlement.
   double refund_total = 0.0;  // Dollars refunded for unplaced units.
+  /// §V.B reconfiguration charges collected from moving teams (zero
+  /// unless SettlementPolicy::bill_moves is on).
+  double move_billing_total = 0.0;
 
   // Fleet health after the round.
   std::vector<double> post_utilization;

@@ -142,6 +142,7 @@ void SettlementPipeline::ApplyPhysical(
   const auto deltas = SplitByCluster(registry, bundle);
   std::string sold_from;
   std::string bought_in;
+  cluster::TaskShape placed_bought;  // Buy-side shape that physically landed.
 
   // Releases first: free the capacity before anyone re-buys it.
   for (const auto& [cluster_name, delta] : deltas) {
@@ -231,6 +232,7 @@ void SettlementPipeline::ApplyPhysical(
     }
     if (placed) {
       quota_->Charge(team, registry, cluster_name, delta.bought);
+      placed_bought += delta.bought;
       ++report.jobs_added;
       for (std::size_t f = first_fill; f < outcome.fills.size(); ++f) {
         outcome.fills[f].placed = outcome.fills[f].awarded;
@@ -285,6 +287,26 @@ void SettlementPipeline::ApplyPhysical(
       move.amount += delta.bought;
     }
     move.reconfig_cost = Dot(move.amount, policy_.move_cost_weights);
+    // Gated billing: the §V.B reconfiguration cost becomes a real charge
+    // on the moving team, clamped to its remaining balance — a move can
+    // exhaust the budget but never overdraft the ledger. Only the
+    // physically PLACED shape is billable: a buy the bin-packer bounced
+    // triggered no reconfiguration work, so billing its (recorded)
+    // awarded-shape cost would charge the team for a move that never
+    // happened — on top of the refund path already unwinding its money.
+    const double billable =
+        Dot(placed_bought, policy_.move_cost_weights);
+    if (policy_.bill_moves && billable > 0.0) {
+      const Money charge = std::min(Money::FromDollarsRounded(billable),
+                                    accounts_->BudgetOf(team));
+      if (!charge.IsZero()) {
+        const std::string status = accounts_->ChargeTeam(
+            team, charge, "move reconfig: " + b.name);
+        PM_CHECK_MSG(status.empty(), "move billing failed: " << status);
+        move.billed = charge.ToDouble();
+        report.move_billing_total += move.billed;
+      }
+    }
     report.moves.push_back(std::move(move));
   }
 }

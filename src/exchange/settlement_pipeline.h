@@ -49,8 +49,22 @@ struct SettlementPolicy {
 
   /// §V.B reconfiguration cost per moved unit (cpu / ram_gb / disk_tb).
   /// All-zero leaves MoveRecord::reconfig_cost at 0 — moves stay
-  /// unpriced, the legacy behavior. Costs are recorded, not billed.
+  /// unpriced, the legacy behavior. Costs are recorded; billing them is
+  /// gated separately on `bill_moves`.
   cluster::TaskShape move_cost_weights;
+
+  /// When on, the §V.B reconfiguration cost of each move's physically
+  /// PLACED buy shape (weights · placed units — a bounced placement did
+  /// no reconfiguration work and is never billed for it) is charged to
+  /// the moving team (team → operator) at settlement, clamped to the
+  /// team's remaining balance so the ledger can never overdraft on a
+  /// move (the unpaid remainder is the operator's bad debt;
+  /// MoveRecord::billed records what was actually collected). The charge
+  /// is an ordinary intra-shard transfer, so the federation treasury's
+  /// conservation invariant covers it: billed dollars surface as shard
+  /// spend at the epoch sweep. Off (default): costs are recorded but
+  /// never billed — the legacy behavior, bit for bit.
+  bool bill_moves = false;
 };
 
 /// Executes the settlement of one auction round against live market

@@ -106,6 +106,32 @@ const agents::World& FederatedExchange::ShardWorld(std::size_t shard) const {
   return shards_[shard]->world;
 }
 
+agents::World& FederatedExchange::MutableShardWorld(std::size_t shard) {
+  PM_CHECK(shard < shards_.size());
+  return shards_[shard]->world;
+}
+
+Money FederatedExchange::RetireFederatedTeam(const std::string& team) {
+  if (treasury_ != nullptr) {
+    // Stop the epoch allowance first so a retire scheduled mid-run can
+    // never race a later push for the same team.
+    for (std::size_t i = 0; i < federated_teams_.size(); ++i) {
+      if (federated_teams_[i].team == team) {
+        federated_teams_.erase(federated_teams_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    return treasury_->Burn(team, treasury_->PlanetBalance(team),
+                           "retire federated team: " + team, EpochCount());
+  }
+  Money removed;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    removed += shard->market->WithdrawTeam(team, "retire federated team");
+  }
+  return removed;
+}
+
 std::vector<ShardView> FederatedExchange::BuildShardViews() const {
   std::vector<ShardView> views;
   views.reserve(shards_.size());

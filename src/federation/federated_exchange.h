@@ -117,6 +117,13 @@ class FederatedExchange {
   const exchange::Market& ShardMarket(std::size_t shard) const;
   const agents::World& ShardWorld(std::size_t shard) const;
 
+  /// Mutable access to a shard's world for scenario-driven mid-run
+  /// mutation (demand shocks scaling team profiles, churn processes
+  /// attached to the shard's fleet/agents). The shard's market keeps
+  /// pointers into this world, so mutations are visible to the next
+  /// epoch; callers must not add/remove agents or replace the fleet.
+  agents::World& MutableShardWorld(std::size_t shard);
+
   /// The router's snapshot of every shard (current reserve prices, free
   /// capacity, fixed prices).
   std::vector<ShardView> BuildShardViews() const;
@@ -131,6 +138,14 @@ class FederatedExchange {
   /// afterwards, so between epochs the planet ledger holds every
   /// federated dollar.
   void EndowFederatedTeam(const std::string& team, Money per_shard_budget);
+
+  /// Retires a federated team (scenario cohorts leaving the planet): the
+  /// team stops receiving epoch allowances and its remaining money is
+  /// removed from circulation — burned from the planet ledger under the
+  /// treasury (an explicit Burn record, so conservation still balances),
+  /// or withdrawn from every shard's local ledger without one. Returns
+  /// the amount removed. Unknown teams return zero.
+  Money RetireFederatedTeam(const std::string& team);
 
   /// Queues a federation-level bid for the next epoch's routing pass.
   void SubmitFederatedBid(FederatedBid bid);

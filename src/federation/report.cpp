@@ -30,6 +30,7 @@ FederationReport BuildFederationReport(
     report.placement_failures += r.placement_failures;
     report.partial_placements += r.partial_placements;
     report.refund_total += r.refund_total;
+    report.move_billing_total += r.move_billing_total;
     report.demand_evaluations += r.demand_evaluations;
     report.transport_messages += r.transport_messages;
     report.transport_bytes += r.transport_bytes;
@@ -78,7 +79,11 @@ std::string RenderFederationSummary(const FederationReport& report) {
      << " spilled, " << report.rejected_parts << " rejected at the gate\n";
   os << "placement: " << report.placement_failures << " failures, "
      << report.partial_placements << " partial awards, refunds $"
-     << FormatF(report.refund_total, 2) << '\n';
+     << FormatF(report.refund_total, 2);
+  if (report.move_billing_total > 0.0) {
+    os << ", move bills $" << FormatF(report.move_billing_total, 2);
+  }
+  os << '\n';
   os << "utilization spread " << FormatF(report.utilization_spread, 2)
      << " pp";
   if (!report.utilization_deciles.empty()) {

@@ -89,6 +89,9 @@ struct FederationReport {
   std::size_t placement_failures = 0;
   std::size_t partial_placements = 0;
   double refund_total = 0.0;
+  /// §V.B reconfiguration charges collected across shards (zero unless
+  /// the shards' SettlementPolicy::bill_moves gate is on).
+  double move_billing_total = 0.0;
   long long demand_evaluations = 0;
   long long transport_messages = 0;  // Wire traffic (proxy-node shards).
   long long transport_bytes = 0;

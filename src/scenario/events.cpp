@@ -1,0 +1,83 @@
+#include "scenario/events.h"
+
+#include <sstream>
+
+namespace pm::scenario {
+
+std::string_view ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDemandShock:
+      return "demand-shock";
+    case EventKind::kFlashCrowd:
+      return "flash-crowd";
+    case EventKind::kShardOutage:
+      return "shard-outage";
+    case EventKind::kPriceWar:
+      return "price-war";
+    case EventKind::kCapacityExpansion:
+      return "capacity-expansion";
+    case EventKind::kChurnWave:
+      return "churn-wave";
+  }
+  return "unknown";
+}
+
+std::string ValidateEvent(const ScenarioEvent& event,
+                          std::size_t num_shards) {
+  std::ostringstream problem;
+  if (event.epoch < 0) {
+    problem << ToString(event.kind) << ": negative epoch " << event.epoch;
+    return problem.str();
+  }
+  if (event.duration < 1) {
+    problem << ToString(event.kind) << ": duration " << event.duration
+            << " < 1";
+    return problem.str();
+  }
+  if (event.shard >= num_shards) {
+    problem << ToString(event.kind) << ": shard " << event.shard
+            << " out of range (" << num_shards << " shards)";
+    return problem.str();
+  }
+  switch (event.kind) {
+    case EventKind::kDemandShock:
+      if (event.magnitude <= 0.0) return "demand-shock: magnitude must be > 0";
+      if (event.count < 0) return "demand-shock: negative team count";
+      break;
+    case EventKind::kFlashCrowd:
+    case EventKind::kPriceWar:
+      if (event.count < 1) {
+        problem << ToString(event.kind) << ": cohort needs count >= 1";
+        return problem.str();
+      }
+      if (event.magnitude <= 0.0) {
+        problem << ToString(event.kind) << ": magnitude must be > 0";
+        return problem.str();
+      }
+      if (!(Money() < event.budget)) {
+        problem << ToString(event.kind) << ": cohort needs a budget";
+        return problem.str();
+      }
+      break;
+    case EventKind::kShardOutage:
+      if (event.magnitude <= 0.0 || event.magnitude > 1.0) {
+        return "shard-outage: magnitude (cluster fraction) must be in (0, 1]";
+      }
+      break;
+    case EventKind::kCapacityExpansion:
+      if (event.count < 1) return "capacity-expansion: needs count >= 1 machines";
+      if (event.magnitude <= 0.0) {
+        return "capacity-expansion: magnitude (machine-shape scale) must "
+               "be > 0";
+      }
+      break;
+    case EventKind::kChurnWave:
+      if (event.magnitude <= 0.0) {
+        return "churn-wave: magnitude (arrival rate) must be > 0";
+      }
+      break;
+  }
+  return "";
+}
+
+}  // namespace pm::scenario

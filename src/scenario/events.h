@@ -1,0 +1,88 @@
+// planetmarket: scenario events — the scripted shocks of a run.
+//
+// A scenario drives a FederatedExchange through a timeline of events
+// scheduled on the sim::EventQueue in epoch time: event `epoch` e fires
+// before epoch e's auctions (the runner advances the calendar with
+// RunUntil(e) at the top of each epoch), and windowed kinds schedule
+// their own end-effect at epoch + duration. Every event draws whatever
+// randomness it needs from its own SplitMix-derived stream
+// (ScenarioRunner::EventSeed), so a scenario is bit-for-bit reproducible
+// from one root seed regardless of which events a variant adds or drops.
+//
+// One struct covers every kind; the per-kind meaning of the generic
+// knobs (shard / magnitude / count / budget / duration) is documented on
+// the enumerators below and enforced by ValidateEvent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/money.h"
+
+namespace pm::scenario {
+
+/// What kind of shock an event injects.
+enum class EventKind {
+  /// Demand shock: scale the growth_rate of `count` resident teams
+  /// (0 = every team) in `shard` by `magnitude` for `duration` epochs,
+  /// then restore the saved rates. Teams are sampled from the event
+  /// stream. (The paper's bidders are the workload generator: growth
+  /// rate IS the demand each team asks the market for.)
+  kDemandShock,
+
+  /// Flash crowd: inject `count` federated teams, each endowed `budget`
+  /// per shard, that submit a routed buy of roughly `magnitude` CPU
+  /// units (with RAM/disk in fixed proportion, jittered from the event
+  /// stream) every epoch of the window; at epoch + duration the cohort
+  /// retires and its remaining money is burned/withdrawn.
+  kFlashCrowd,
+
+  /// Shard outage: extract ceil(magnitude × (clusters − 1)) clusters
+  /// (at least 1, never the last) from `shard`, chosen from the event
+  /// stream — capacity loss through Market::ExtractCluster, so quota is
+  /// refunded and the pools stay interned at zero capacity. At
+  /// epoch + duration the stored clusters are re-adopted (recovery).
+  kShardOutage,
+
+  /// Price war: inject `count` aggressive federated bidders, endowed
+  /// `budget` per shard, that bid `magnitude`× the fixed-price cost of
+  /// their requirement on `shard` (home-affinity routed) every epoch of
+  /// the window, then retire.
+  kPriceWar,
+
+  /// Capacity expansion: adopt a fresh, empty homogeneous cluster of
+  /// `count` machines into `shard`, each machine `magnitude`× the
+  /// shard's configured machine shape — the append-only pool-space
+  /// growth path (the registry gains pools; fixed prices, learner
+  /// beliefs and arbitrage holdings all extend). Instantaneous;
+  /// duration is unused.
+  kCapacityExpansion,
+
+  /// Churn wave: attach an exchange::ChurnProcess to `shard` with
+  /// arrival rate `magnitude` jobs per epoch (seeded from the event
+  /// stream) for `duration` epochs, then stop arrivals (in-flight
+  /// departures keep draining).
+  kChurnWave,
+};
+
+std::string_view ToString(EventKind kind);
+
+/// One scripted shock on the scenario timeline.
+struct ScenarioEvent {
+  EventKind kind = EventKind::kDemandShock;
+  int epoch = 0;         // Fires before this epoch's auctions.
+  int duration = 1;      // Epochs a windowed effect stays active.
+  std::size_t shard = 0; // Target shard (kinds that have one).
+  double magnitude = 1.0;
+  int count = 0;
+  Money budget;          // Per-shard funding for injected cohorts.
+};
+
+/// Returns "" when the event is well-formed against a federation of
+/// `num_shards` shards, else a human-readable problem (the runner CHECKs
+/// this at construction so a bad timeline fails before any epoch runs).
+std::string ValidateEvent(const ScenarioEvent& event,
+                          std::size_t num_shards);
+
+}  // namespace pm::scenario

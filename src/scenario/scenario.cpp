@@ -1,0 +1,26 @@
+#include "scenario/scenario.h"
+
+#include "common/check.h"
+
+namespace pm::scenario {
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : ScenarioLibrary()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+const ScenarioSpec& FindScenario(const std::string& name) {
+  for (const ScenarioSpec& spec : ScenarioLibrary()) {
+    if (spec.name == name) return spec;
+  }
+  PM_CHECK_MSG(false, "unknown scenario '" << name
+                                           << "' (see ScenarioNames())");
+  // Unreachable; PM_CHECK_MSG aborts.
+  static const ScenarioSpec empty;
+  return empty;
+}
+
+}  // namespace pm::scenario

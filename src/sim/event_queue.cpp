@@ -22,6 +22,11 @@ EventId EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
+EventId EventQueue::ScheduleAtEpoch(std::int64_t epoch,
+                                    std::function<void()> fn) {
+  return ScheduleAt(static_cast<SimTime>(epoch), std::move(fn));
+}
+
 bool EventQueue::Cancel(EventId id) {
   if (id == 0 || id >= next_id_) return false;
   if (IsCancelled(id)) return false;

@@ -37,6 +37,14 @@ class EventQueue {
   /// Schedules `fn` `delay` time units from Now() (delay >= 0).
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
 
+  /// Absolute-epoch scheduling: schedules `fn` at time `epoch` on the
+  /// convention that epoch e's events fire before epoch e's auctions
+  /// (drive the calendar with RunUntil(e) at the top of each epoch). The
+  /// epoch is an exact integer timestamp, so same-epoch events keep their
+  /// FIFO scheduling order and never race continuous-time events
+  /// scheduled strictly inside the preceding epoch.
+  EventId ScheduleAtEpoch(std::int64_t epoch, std::function<void()> fn);
+
   /// Cancels a pending event. Returns false if the event already ran, was
   /// cancelled before, or never existed.
   bool Cancel(EventId id);

@@ -241,6 +241,92 @@ TEST(StrategyTest, ArbitrageurResellsHoldings) {
   EXPECT_TRUE(has_sell);
 }
 
+// ---------------------------------------------- placement feedback --
+
+TEST(PlacementPenaltyTest, NoFeedbackLeavesMemoryEmpty) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kTruthfulGrowth), fx.reserve,
+                  1);
+  // Gate-off-shaped outcomes: won, but no placement fields.
+  std::vector<BidOutcome> outcomes(2);
+  outcomes[0].won = true;
+  outcomes[0].payment = 12.0;
+  agent.ObserveOutcome(fx.reserve, outcomes);
+  EXPECT_TRUE(agent.placement_penalty().empty());
+}
+
+TEST(PlacementPenaltyTest, FailuresRaiseAndCleanAuctionsForgive) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kTruthfulGrowth), fx.reserve,
+                  1);
+  BidOutcome fail;
+  fail.won = true;
+  fail.awarded_units = 10.0;
+  fail.placed_units = 0.0;
+  fail.unplaced_pools = {6};
+  agent.ObserveOutcome(fx.reserve, {fail});
+  ASSERT_EQ(agent.placement_penalty().size(), fx.registry.size());
+  EXPECT_DOUBLE_EQ(agent.placement_penalty()[6], kPlacementPenaltyStep);
+  EXPECT_EQ(agent.placement_penalty()[0], 0.0);
+
+  BidOutcome clean;
+  clean.won = true;
+  clean.awarded_units = 5.0;
+  clean.placed_units = 5.0;
+  agent.ObserveOutcome(fx.reserve, {clean});
+  EXPECT_DOUBLE_EQ(agent.placement_penalty()[6],
+                   kPlacementPenaltyStep * (1.0 - kPlacementPenaltyStep));
+
+  // Chronic failure saturates (clamped at 1), never overshoots.
+  for (int i = 0; i < 30; ++i) agent.ObserveOutcome(fx.reserve, {fail});
+  EXPECT_GT(agent.placement_penalty()[6], 0.9);
+  EXPECT_LE(agent.placement_penalty()[6], 1.0);
+}
+
+TEST(StrategyHelperTest, ClusterPlacementPenaltyTakesWorstKind) {
+  StrategyFixture fx;
+  std::vector<double> penalty(fx.registry.size(), 0.0);
+  penalty[7] = 0.8;  // cold/ram.
+  EXPECT_DOUBLE_EQ(
+      ClusterPlacementPenalty(fx.registry, &penalty, "cold"), 0.8);
+  EXPECT_DOUBLE_EQ(ClusterPlacementPenalty(fx.registry, &penalty, "mid"),
+                   0.0);
+  EXPECT_DOUBLE_EQ(ClusterPlacementPenalty(fx.registry, nullptr, "cold"),
+                   0.0);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(ClusterPlacementPenalty(fx.registry, &empty, "cold"),
+                   0.0);
+}
+
+TEST(PlacementPenaltyTest, DistrustedClusterDropsOutOfGrowthBids) {
+  StrategyFixture fx;
+  TeamAgent agent(fx.Profile(StrategyKind::kTruthfulGrowth), fx.reserve,
+                  1);
+  const auto cold_cpu =
+      fx.registry.Find(PoolKey{"cold", ResourceKind::kCpu});
+  const auto mentions_cold = [&](const std::vector<bid::Bid>& bids) {
+    for (const bid::Bid& b : bids) {
+      for (const bid::Bundle& bundle : b.bundles) {
+        if (bundle.QuantityOf(*cold_cpu) != 0.0) return true;
+      }
+    }
+    return false;
+  };
+  // Baseline: cold is the cheapest alternative with room — bid on it.
+  ASSERT_TRUE(mentions_cold(agent.MakeBids(fx.View())));
+
+  // Three straight placement failures on cold's pools push its penalty
+  // past the avoid bar (0.3 → 0.51 → 0.657 ≥ 0.6).
+  BidOutcome fail;
+  fail.won = true;
+  fail.awarded_units = 10.0;
+  fail.placed_units = 0.0;
+  fail.unplaced_pools = {6, 7, 8};
+  for (int i = 0; i < 3; ++i) agent.ObserveOutcome(fx.reserve, {fail});
+  EXPECT_GE(agent.placement_penalty()[6], kPlacementPenaltyAvoid);
+  EXPECT_FALSE(mentions_cold(agent.MakeBids(fx.View())));
+}
+
 TEST(StrategyTest, StrategyNamesRoundTrip) {
   for (StrategyKind kind :
        {StrategyKind::kTruthfulGrowth, StrategyKind::kPremiumSticky,

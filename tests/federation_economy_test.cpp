@@ -215,6 +215,70 @@ TEST(FederationEconomyTest, MoneyConservedAcrossMultiEpochRun) {
             0.0);
 }
 
+TEST(FederationEconomyTest, MoneyConservedWithMoveBillingOn) {
+  // The bill_moves satellite: §V.B reconfiguration charges are ordinary
+  // intra-shard transfers, so the planet conservation invariant must
+  // keep holding — federated movers' bills surface as shard spend at
+  // the sweep, never as hidden mints or burns.
+  FederationConfig config;
+  config.seed = 20090425;
+  config.economy.treasury = true;
+  std::vector<ShardSpec> shards = HotCoolShards(/*cool=*/1);
+  for (ShardSpec& shard : shards) {
+    shard.market.settlement.move_cost_weights =
+        cluster::TaskShape{1.0, 0.05, 0.2};
+    shard.market.settlement.bill_moves = true;
+  }
+  FederatedExchange fed(std::move(shards), config);
+  ASSERT_NE(fed.treasury(), nullptr);
+  fed.EndowFederatedTeam("globex", Money::FromDollars(500000));
+
+  double billed = 0.0;
+  for (int e = 0; e < 4; ++e) {
+    FederatedBid bid;
+    bid.team = "globex";
+    bid.tag = "grow" + std::to_string(e);
+    bid.quantity = cluster::TaskShape{16.0, 64.0, 2.0};
+    bid.limit = 30000.0;
+    fed.SubmitFederatedBid(bid);
+    const FederationReport report = fed.RunEpoch();
+    billed += report.move_billing_total;
+    ExpectConserved(*fed.treasury());
+    EXPECT_EQ(fed.treasury()->FloatTotal(), Money());
+    for (std::size_t k = 0; k < fed.NumShards(); ++k) {
+      EXPECT_EQ(fed.ShardMarket(k).ledger().TotalBalance(), Money());
+    }
+  }
+  // The gate must actually have billed something, or this proved less
+  // than it claims.
+  EXPECT_GT(billed, 0.0);
+}
+
+TEST(FederationEconomyTest, RetireFederatedTeamBurnsRemainingMoney) {
+  FederationConfig config;
+  config.seed = 20090425;
+  config.economy.treasury = true;
+  FederatedExchange fed(HotCoolShards(/*cool=*/1), config);
+  ASSERT_NE(fed.treasury(), nullptr);
+  fed.EndowFederatedTeam("ephemeral", Money::FromDollars(1000));
+
+  const Money burned_before = fed.treasury()->TotalBurned();
+  const Money removed = fed.RetireFederatedTeam("ephemeral");
+  EXPECT_EQ(removed, Money::FromDollars(2000));  // 2 shards × $1000.
+  EXPECT_TRUE(fed.treasury()->PlanetBalance("ephemeral").IsZero());
+  EXPECT_EQ(fed.treasury()->TotalBurned(), burned_before + removed);
+  ExpectConserved(*fed.treasury());
+
+  // Retired means retired: the next epoch pushes no allowance and the
+  // ledger stays conserved.
+  fed.RunEpoch();
+  EXPECT_TRUE(fed.ShardMarket(0).TeamBudget("ephemeral").IsZero());
+  ExpectConserved(*fed.treasury());
+
+  // Unknown teams retire to zero, harmlessly.
+  EXPECT_TRUE(fed.RetireFederatedTeam("never-existed").IsZero());
+}
+
 // ------------------------------------- outcome-aware conservation ------
 
 // The ISSUE-4 acceptance property: with every outcome gate on (refunds,

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "agents/workload_gen.h"
@@ -338,6 +339,233 @@ TEST(SettlementPipelineTest, LegacyGateOffKeepsQuotaAndMoney) {
                    qty_fail);
   EXPECT_LT(market.TeamBudget("buyer"), endowed);
   EXPECT_EQ(report.refund_total, 0.0);
+}
+
+// ------------------------------------------ outcome feedback (gated) --
+
+TEST(SettlementPipelineTest, OutcomeFeedbackGatePopulatesAgentMemory) {
+  // Monolithic task shapes make organic resident placement failures
+  // likely. With the gate off the agents' placement memory must stay
+  // untouched (the bit-identical contract: no BidOutcome carries
+  // placement fields, so ObserveOutcome never resizes the memory); with
+  // the gate on, the same world accumulates nonzero penalties.
+  const auto run = [](bool feedback) {
+    agents::World world = GenerateWorld(SmallWorldConfig());
+    MarketConfig config = FastMarketConfig();
+    config.max_task_shape = cluster::TaskShape{1e9, 1e9, 1e9};
+    config.outcome_feedback = feedback;
+    Market market(&world.fleet, &world.agents, world.fixed_prices,
+                  config);
+    std::size_t failures = 0;
+    for (int round = 0; round < 3; ++round) {
+      failures += market.RunAuction().placement_failures;
+    }
+    bool any_memory = false;
+    double total_penalty = 0.0;
+    for (const agents::TeamAgent& agent : world.agents) {
+      any_memory = any_memory || !agent.placement_penalty().empty();
+      for (double p : agent.placement_penalty()) total_penalty += p;
+    }
+    return std::tuple{failures, any_memory, total_penalty};
+  };
+  const auto [off_failures, off_memory, off_penalty] = run(false);
+  EXPECT_GT(off_failures, 0u) << "fixture must force failures";
+  EXPECT_FALSE(off_memory);
+  EXPECT_EQ(off_penalty, 0.0);
+  const auto [on_failures, on_memory, on_penalty] = run(true);
+  EXPECT_GT(on_failures, 0u);
+  EXPECT_TRUE(on_memory);
+  EXPECT_GT(on_penalty, 0.0);
+}
+
+// ---------------------------------------------- move billing (gated) --
+
+/// A cluster with at least `min_free_cpu` of single-machine headroom (so
+/// a small single-task buy is guaranteed to place).
+std::string RoomyCluster(const cluster::Fleet& fleet, double min_free_cpu) {
+  for (const std::string& name : fleet.ClusterNames()) {
+    for (const cluster::Machine& machine :
+         fleet.ClusterByName(name).machines()) {
+      if (machine.Free().cpu >= min_free_cpu &&
+          machine.Free().ram_gb >= 1.0) {
+        return name;
+      }
+    }
+  }
+  return "";
+}
+
+TEST(SettlementPipelineTest, BilledMovesChargeTheMovingTeam) {
+  agents::World world = GenerateWorld(SmallWorldConfig());
+  MarketConfig config = FastMarketConfig();
+  config.settlement.move_cost_weights = cluster::TaskShape{2.0, 0.5, 10.0};
+  config.settlement.bill_moves = true;
+  Market market(&world.fleet, &world.agents, world.fixed_prices, config);
+
+  const std::string roomy = RoomyCluster(world.fleet, 8.0);
+  ASSERT_FALSE(roomy.empty());
+  const PoolId pool =
+      *world.fleet.registry().Find(PoolKey{roomy, ResourceKind::kCpu});
+
+  const Money endowed = Money::FromDollars(10000000);
+  market.EndowTeam("buyer", endowed, "test");
+  bid::Bid bid;
+  bid.name = "fed/buyer/grow";
+  bid.bundles = {bid::Bundle({bid::BundleItem{pool, 4.0}})};
+  bid.limit = 5000000.0;
+  market.SubmitExternalBid(Market::ExternalBid{"buyer", bid});
+
+  const AuctionReport report = market.RunAuction();
+  const AwardRecord* award = nullptr;
+  for (const AwardRecord& a : report.awards) {
+    if (a.team == "buyer") award = &a;
+  }
+  ASSERT_NE(award, nullptr);
+  ASSERT_EQ(award->outcome.status, PlacementOutcome::Status::kPlaced);
+
+  const MoveRecord* move = nullptr;
+  for (const MoveRecord& m : report.moves) {
+    if (m.team == "buyer") move = &m;
+  }
+  ASSERT_NE(move, nullptr);
+  EXPECT_NEAR(move->reconfig_cost, 4.0 * 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      move->billed,
+      Money::FromDollarsRounded(move->reconfig_cost).ToDouble());
+  EXPECT_GE(report.move_billing_total, move->billed);
+  // The charge landed: budget is endowment minus the auction payment
+  // minus the bill, to the micro-dollar.
+  EXPECT_EQ(market.TeamBudget("buyer"),
+            endowed - Money::FromDollarsRounded(award->payment) -
+                Money::FromDollarsRounded(move->reconfig_cost));
+  bool journaled = false;
+  for (const JournalEntry& entry : market.ledger().Journal()) {
+    journaled = journaled || entry.memo == "move reconfig: fed/buyer/grow";
+  }
+  EXPECT_TRUE(journaled);
+}
+
+TEST(SettlementPipelineTest, MoveBillingClampsToRemainingBalance) {
+  agents::World world = GenerateWorld(SmallWorldConfig());
+  MarketConfig config = FastMarketConfig();
+  // Absurd weights: the bill vastly exceeds any budget, so the clamp —
+  // not an overdraft — must resolve it.
+  config.settlement.move_cost_weights = cluster::TaskShape{1e6, 0.0, 0.0};
+  config.settlement.bill_moves = true;
+  Market market(&world.fleet, &world.agents, world.fixed_prices, config);
+
+  const std::string roomy = RoomyCluster(world.fleet, 8.0);
+  ASSERT_FALSE(roomy.empty());
+  const PoolId pool =
+      *world.fleet.registry().Find(PoolKey{roomy, ResourceKind::kCpu});
+
+  const Money endowed = Money::FromDollars(100000);
+  market.EndowTeam("buyer", endowed, "test");
+  bid::Bid bid;
+  bid.name = "fed/buyer/grow";
+  bid.bundles = {bid::Bundle({bid::BundleItem{pool, 4.0}})};
+  bid.limit = 50000.0;
+  market.SubmitExternalBid(Market::ExternalBid{"buyer", bid});
+
+  const AuctionReport report = market.RunAuction();
+  const AwardRecord* award = nullptr;
+  const MoveRecord* move = nullptr;
+  for (const AwardRecord& a : report.awards) {
+    if (a.team == "buyer") award = &a;
+  }
+  for (const MoveRecord& m : report.moves) {
+    if (m.team == "buyer") move = &m;
+  }
+  ASSERT_NE(award, nullptr);
+  ASSERT_NE(move, nullptr);
+  // The bill took everything that was left after the auction payment —
+  // and only that: no overdraft, no negative balance.
+  const Money remaining =
+      endowed - Money::FromDollarsRounded(award->payment);
+  EXPECT_DOUBLE_EQ(move->billed, remaining.ToDouble());
+  EXPECT_LT(move->billed, move->reconfig_cost);
+  EXPECT_TRUE(market.TeamBudget("buyer").IsZero());
+}
+
+TEST(SettlementPipelineTest, FailedPlacementIsNeverBilledForTheMove) {
+  // A bounced placement reconfigured nothing: with bill_moves AND
+  // refund_unplaced on, the failed buy must net to exactly zero — the
+  // auction payment comes back as a refund and no reconfiguration bill
+  // is taken on top.
+  agents::World world = GenerateWorld(SmallWorldConfig());
+  MarketConfig config = FastMarketConfig();
+  config.max_task_shape = cluster::TaskShape{1e9, 1e9, 1e9};
+  config.settlement.refund_unplaced = true;
+  config.settlement.move_cost_weights = cluster::TaskShape{2.0, 0.5, 10.0};
+  config.settlement.bill_moves = true;
+  Market market(&world.fleet, &world.agents, world.fixed_prices, config);
+
+  const SpaciousCluster big = MostSpaciousCluster(world.fleet);
+  const double qty_fail =
+      std::min(0.9 * big.free_cpu, 2.5 * big.max_machine_free_cpu);
+  ASSERT_GT(qty_fail, 2.0 * big.max_machine_free_cpu);
+  const PoolId pool_fail = *world.fleet.registry().Find(
+      PoolKey{big.name, ResourceKind::kCpu});
+
+  const Money endowed = Money::FromDollars(10000000);
+  market.EndowTeam("buyer", endowed, "test");
+  bid::Bid bid;
+  bid.name = "fed/buyer/doomed";
+  bid.bundles = {bid::Bundle({bid::BundleItem{pool_fail, qty_fail}})};
+  bid.limit = 5000000.0;
+  market.SubmitExternalBid(Market::ExternalBid{"buyer", bid});
+
+  const AuctionReport report = market.RunAuction();
+  const AwardRecord* award = nullptr;
+  for (const AwardRecord& a : report.awards) {
+    if (a.team == "buyer") award = &a;
+  }
+  ASSERT_NE(award, nullptr);
+  ASSERT_EQ(award->outcome.status, PlacementOutcome::Status::kFailed);
+  for (const MoveRecord& move : report.moves) {
+    if (move.team != "buyer") continue;
+    EXPECT_GT(move.reconfig_cost, 0.0);  // Recorded over the award...
+    EXPECT_EQ(move.billed, 0.0);         // ...but nothing landed: no bill.
+  }
+  EXPECT_EQ(market.TeamBudget("buyer"), endowed);
+}
+
+TEST(SettlementPipelineTest, MoveBillingGateOffRecordsCostOnly) {
+  agents::World world = GenerateWorld(SmallWorldConfig());
+  MarketConfig config = FastMarketConfig();
+  config.settlement.move_cost_weights = cluster::TaskShape{2.0, 0.5, 10.0};
+  // bill_moves left at the default (off).
+  Market market(&world.fleet, &world.agents, world.fixed_prices, config);
+
+  const std::string roomy = RoomyCluster(world.fleet, 8.0);
+  ASSERT_FALSE(roomy.empty());
+  const PoolId pool =
+      *world.fleet.registry().Find(PoolKey{roomy, ResourceKind::kCpu});
+
+  const Money endowed = Money::FromDollars(10000000);
+  market.EndowTeam("buyer", endowed, "test");
+  bid::Bid bid;
+  bid.name = "fed/buyer/grow";
+  bid.bundles = {bid::Bundle({bid::BundleItem{pool, 4.0}})};
+  bid.limit = 5000000.0;
+  market.SubmitExternalBid(Market::ExternalBid{"buyer", bid});
+
+  const AuctionReport report = market.RunAuction();
+  const AwardRecord* award = nullptr;
+  const MoveRecord* move = nullptr;
+  for (const AwardRecord& a : report.awards) {
+    if (a.team == "buyer") award = &a;
+  }
+  for (const MoveRecord& m : report.moves) {
+    if (m.team == "buyer") move = &m;
+  }
+  ASSERT_NE(award, nullptr);
+  ASSERT_NE(move, nullptr);
+  EXPECT_GT(move->reconfig_cost, 0.0);  // Priced...
+  EXPECT_EQ(move->billed, 0.0);         // ...but never billed.
+  EXPECT_EQ(report.move_billing_total, 0.0);
+  EXPECT_EQ(market.TeamBudget("buyer"),
+            endowed - Money::FromDollarsRounded(award->payment));
 }
 
 // ------------------------------------------------- rejection reasons --

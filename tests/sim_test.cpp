@@ -101,6 +101,21 @@ TEST(EventQueueTest, RunUntilIncludesBoundaryEvents) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(EventQueueTest, ScheduleAtEpochInterleavesWithEpochLoop) {
+  // The scenario runner's shape: epoch-e events run when the loop calls
+  // RunUntil(e), before epoch e's auctions, FIFO among equals.
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAtEpoch(1, [&] { order.push_back(10); });
+  q.ScheduleAtEpoch(0, [&] { order.push_back(0); });
+  q.ScheduleAtEpoch(1, [&] { order.push_back(11); });
+  q.RunUntil(0.0);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  q.RunUntil(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 11}));
+  EXPECT_TRUE(q.Empty());
+}
+
 TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
   EventQueue q;
   int depth = 0;
