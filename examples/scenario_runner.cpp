@@ -2,19 +2,29 @@
 //
 //   $ ./example_scenario_runner --scenario shard-outage [--seed S]
 //         [--epochs E] [--threads T] [--out FILE] [--quiet]
+//         [--faults drop=P,dup=P,delay=N]
 //   $ ./example_scenario_runner --list
 //
-// The JSON is byte-identical for identical (scenario, seed, epochs) —
-// the determinism contract of docs/scenarios.md — so piping two runs
-// through `diff` is a valid reproducibility check. Exit status: 0 on
-// success (including runs too short for SLO evaluation), 1 when an
-// evaluated SLO failed, 2 on usage errors.
+// --faults runs every shard behind pm::net proxy nodes on a lossy wire
+// (drop/duplicate probabilities, stale-redelivery window) with the epoch
+// supervisor armed, overriding whatever the scenario configured. The
+// retry layer makes the run bit-identical to its own reruns; retry
+// exhaustion (a link going down for good) is a containment failure.
+//
+// The JSON is byte-identical for identical (scenario, seed, epochs,
+// faults) — the determinism contract of docs/scenarios.md — so piping
+// two runs through `diff` is a valid reproducibility check. Exit
+// status: 0 on success (including runs too short for SLO evaluation),
+// 1 when an evaluated SLO failed, 2 on usage errors, 3 when containment
+// failed (an uncontained fault escaped the planet epoch).
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "common/check.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
 
@@ -23,8 +33,35 @@ namespace {
 int Usage() {
   std::cerr << "usage: example_scenario_runner --scenario NAME "
                "[--seed S] [--epochs E] [--threads T] [--out FILE] "
-               "[--quiet]\n       example_scenario_runner --list\n";
+               "[--quiet] [--faults drop=P,dup=P,delay=N]\n"
+               "       example_scenario_runner --list\n";
   return 2;
+}
+
+/// Parses "drop=P,dup=P,delay=N" (any subset, any order) into a
+/// FaultConfig; returns false on malformed input.
+bool ParseFaults(const std::string& text, pm::net::FaultConfig& faults) {
+  std::istringstream tokens(text);
+  std::string token;
+  while (std::getline(tokens, token, ',')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty()) return false;
+    if (key == "drop") {
+      faults.drop = std::atof(value.c_str());
+    } else if (key == "dup") {
+      faults.duplicate = std::atof(value.c_str());
+    } else if (key == "delay") {
+      faults.delay_window = std::atoi(value.c_str());
+    } else {
+      return false;
+    }
+  }
+  return faults.drop >= 0.0 && faults.drop < 1.0 &&
+         faults.duplicate >= 0.0 && faults.duplicate <= 1.0 &&
+         faults.delay_window >= 0;
 }
 
 }  // namespace
@@ -33,6 +70,7 @@ int main(int argc, char** argv) {
   std::string name;
   std::string out;
   pm::scenario::RunnerConfig config;
+  pm::net::FaultConfig faults;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +105,9 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       out = v;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr || !ParseFaults(v, faults)) return Usage();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -84,9 +125,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  pm::scenario::ScenarioRunner runner(pm::scenario::FindScenario(name),
-                                      config);
-  const pm::scenario::ScenarioMetrics metrics = runner.Run();
+  pm::scenario::ScenarioSpec spec = pm::scenario::FindScenario(name);
+  if (faults.Enabled()) {
+    // Lossy-wire mode: every shard clears through proxy nodes over the
+    // faulty transport, with the supervisor armed so a link going down
+    // for good is contained rather than fatal. The distributed path
+    // needs intra-round bisection off (docs/distributed.md).
+    spec.federation.wire_faults = faults;
+    if (spec.federation.proxy_nodes_per_shard == 0) {
+      spec.federation.proxy_nodes_per_shard = 2;
+    }
+    spec.federation.supervisor.enabled = true;
+    for (pm::federation::ShardSpec& shard : spec.shards) {
+      shard.market.auction.intra_round_bisection = false;
+    }
+  }
+
+  pm::scenario::ScenarioRunner runner(std::move(spec), config);
+  pm::scenario::ScenarioMetrics metrics;
+  try {
+    metrics = runner.Run();
+  } catch (const pm::CheckFailure& e) {
+    // An uncontained fault escaped the planet epoch — the supervisor
+    // failed to hold the failure domain. Distinct exit code so harnesses
+    // can tell containment failures from SLO failures.
+    std::cerr << "containment failure: " << e.what() << "\n";
+    return 3;
+  }
   const std::string json = metrics.ToJson();
 
   if (!out.empty()) {

@@ -3,10 +3,13 @@
 # line from ROADMAP.md plus a one-round smoke of every bench binary so
 # bench bit-rot is caught before it lands.
 #
-#   scripts/check.sh             # full gate (tier-1 + all bench smokes)
-#   scripts/check.sh --quick     # skip tests labelled `slow`
-#   scripts/check.sh --sanitize  # tier-1 under ASan/UBSan (CMake preset
-#                                # asan-ubsan, build-sanitize/ tree)
+#   scripts/check.sh                    # full gate (tier-1 + bench smokes)
+#   scripts/check.sh --quick            # skip tests labelled `slow`
+#   scripts/check.sh --sanitize         # tier-1 under ASan/UBSan (preset
+#                                       # asan-ubsan, build-sanitize/ tree)
+#   scripts/check.sh --sanitize=thread  # tier-1 under TSan (preset tsan,
+#                                       # build-tsan/ tree) — the
+#                                       # concurrent shard-epoch gate
 #
 # Labels (defined in CMakeLists.txt): tier1 = every gtest suite,
 # bench-smoke = tiny bench runs plus the 1-epoch scenario smokes
@@ -23,6 +26,16 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   cmake --preset asan-ubsan
   cmake --build build-sanitize -j
   ctest --test-dir build-sanitize --output-on-failure -L tier1 -j "${JOBS}"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--sanitize=thread" ]]; then
+  # TSan in its own tree (TSan and ASan cannot share objects). Guards
+  # the concurrent paths: ThreadPool shard epochs, proxy-node auction
+  # wires, and the supervisor's containment joins.
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -L tier1 -j "${JOBS}"
   exit 0
 fi
 

@@ -46,6 +46,19 @@ void PriceLearner::ExtendBeliefs(std::span<const double> defaults) {
   }
 }
 
+void PriceLearner::RestoreState(std::vector<double> beliefs, double markup,
+                                int observations) {
+  PM_CHECK_MSG(beliefs.size() >= beliefs_.size(),
+               "restored beliefs cover " << beliefs.size()
+                                         << " pools, learner tracks "
+                                         << beliefs_.size());
+  PM_CHECK_MSG(markup >= 0.0, "restored markup must be non-negative");
+  PM_CHECK_MSG(observations >= 0, "restored observation count is negative");
+  beliefs_ = std::move(beliefs);
+  markup_ = markup;
+  observations_ = observations;
+}
+
 void PriceLearner::Observe(std::span<const double> settled_prices) {
   PM_CHECK_MSG(settled_prices.size() == beliefs_.size(),
                "observed " << settled_prices.size()

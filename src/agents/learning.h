@@ -51,6 +51,14 @@ class PriceLearner {
   /// Number of auctions observed so far.
   int ObservationCount() const { return observations_; }
 
+  /// The full belief vector, for checkpointing.
+  const std::vector<double>& beliefs() const { return beliefs_; }
+
+  /// Checkpoint restore of the learned state. The smoothing and decay
+  /// constants are construction-time parameters and stay as built.
+  void RestoreState(std::vector<double> beliefs, double markup,
+                    int observations);
+
  private:
   std::vector<double> beliefs_;
   double smoothing_;

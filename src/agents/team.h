@@ -115,7 +115,10 @@ class TeamAgent {
   TeamProfile& mutable_profile() { return profile_; }
 
   const PriceLearner& learner() const { return learner_; }
+  /// Mutable learner access for checkpoint restore only.
+  PriceLearner& mutable_learner() { return learner_; }
   RandomStream& rng() { return rng_; }
+  const RandomStream& rng() const { return rng_; }
 
   /// Grows the agent's per-pool state (price beliefs, warehouse) to cover
   /// an enlarged pool registry — called by the market when a migrated
@@ -135,6 +138,11 @@ class TeamAgent {
   /// growing into chronically unplaceable clusters.
   const std::vector<double>& placement_penalty() const {
     return placement_penalty_;
+  }
+
+  /// Checkpoint restore of the placement-failure memory.
+  void RestorePlacementPenalty(std::vector<double> penalty) {
+    placement_penalty_ = std::move(penalty);
   }
 
  private:

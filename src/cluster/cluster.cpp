@@ -106,6 +106,35 @@ double Cluster::Free(ResourceKind kind) const {
   return Capacity(kind) - Used(kind);
 }
 
+std::vector<Cluster::PlacedJobRecord> Cluster::ExportJobs() const {
+  std::vector<const PlacedJob*> placed;
+  placed.reserve(jobs_.size());
+  for (const auto& [id, pj] : jobs_) placed.push_back(&pj);
+  std::sort(placed.begin(), placed.end(),
+            [](const PlacedJob* a, const PlacedJob* b) {
+              return a->order < b->order;
+            });
+  std::vector<PlacedJobRecord> records;
+  records.reserve(placed.size());
+  for (const PlacedJob* pj : placed) {
+    records.push_back(PlacedJobRecord{pj->job, pj->placement});
+  }
+  return records;
+}
+
+void Cluster::RestoreJobs(std::vector<PlacedJobRecord> records) {
+  PM_CHECK_MSG(jobs_.empty(),
+               "RestoreJobs into non-empty cluster " << name_);
+  next_order_ = 0;
+  for (PlacedJobRecord& record : records) {
+    const JobId id = record.job.id;
+    PM_CHECK_MSG(jobs_.count(id) == 0,
+                 "duplicate job " << id << " in restore of " << name_);
+    jobs_.emplace(id, PlacedJob{std::move(record.job),
+                                std::move(record.placement), next_order_++});
+  }
+}
+
 bool Cluster::CanFit(const Job& job, PlacementPolicy policy) const {
   // Trial placement on a copy of the machine state. Machine copies are
   // cheap (two shapes); clusters have O(100..1000) machines.

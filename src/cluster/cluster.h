@@ -71,6 +71,22 @@ class Cluster {
   /// Would `job` fit right now (non-mutating check)?
   bool CanFit(const Job& job, PlacementPolicy policy) const;
 
+  /// One placed job with its machine assignment, for checkpointing.
+  struct PlacedJobRecord {
+    Job job;
+    PlacementResult placement;
+  };
+
+  /// Every placed job with its placement, in insertion order.
+  std::vector<PlacedJobRecord> ExportJobs() const;
+
+  /// Checkpoint restore: installs job records (in the order ExportJobs
+  /// returned them) without re-running the bin-packer or touching machine
+  /// usage — the machines are restored separately via RestoreUsed, so the
+  /// pair round-trips float accumulation bit-exactly. The cluster must
+  /// hold no jobs yet.
+  void RestoreJobs(std::vector<PlacedJobRecord> records);
+
  private:
   struct PlacedJob {
     Job job;

@@ -27,6 +27,32 @@ Fleet::Fleet(std::vector<Cluster> clusters, TaskShape unit_costs,
                "duplicate cluster names in fleet");
 }
 
+Fleet::Fleet(RestoreTag, std::vector<Cluster> clusters,
+             TaskShape unit_costs, PlacementPolicy policy)
+    : clusters_(std::move(clusters)),
+      unit_costs_(unit_costs),
+      policy_(policy) {}
+
+Fleet Fleet::FromState(std::vector<Cluster> clusters,
+                       const std::vector<PoolKey>& pool_order,
+                       TaskShape unit_costs, PlacementPolicy policy) {
+  PM_CHECK_MSG(!clusters.empty(), "fleet needs at least one cluster");
+  Fleet fleet(RestoreTag{}, std::move(clusters), unit_costs, policy);
+  for (std::size_t i = 0; i < pool_order.size(); ++i) {
+    const PoolId id = fleet.registry_.Intern(pool_order[i]);
+    PM_CHECK_MSG(id == i, "duplicate pool in saved interning order: "
+                              << ToString(pool_order[i]));
+  }
+  for (const Cluster& c : fleet.clusters_) {
+    for (ResourceKind kind : kAllResourceKinds) {
+      PM_CHECK_MSG(fleet.registry_.Find(PoolKey{c.name(), kind}).has_value(),
+                   "restored cluster '" << c.name()
+                                        << "' missing from pool order");
+    }
+  }
+  return fleet;
+}
+
 std::vector<std::string> Fleet::ClusterNames() const {
   std::vector<std::string> names;
   names.reserve(clusters_.size());

@@ -32,6 +32,16 @@ class Fleet {
   Fleet(std::vector<Cluster> clusters, TaskShape unit_costs,
         PlacementPolicy policy = PlacementPolicy::kBestFit);
 
+  /// Checkpoint restore: rebuilds a fleet from restored clusters plus the
+  /// saved pool-interning order. The order can differ from cluster-major
+  /// after extractions and adoptions — PoolIds are append-only for the
+  /// market's lifetime, so a round trip must re-intern them in the exact
+  /// saved sequence. Every live cluster's pools must appear in
+  /// `pool_order`.
+  static Fleet FromState(std::vector<Cluster> clusters,
+                         const std::vector<PoolKey>& pool_order,
+                         TaskShape unit_costs, PlacementPolicy policy);
+
   const PoolRegistry& registry() const { return registry_; }
   std::size_t NumPools() const { return registry_.size(); }
 
@@ -43,6 +53,9 @@ class Fleet {
   bool HasCluster(const std::string& name) const;
 
   PlacementPolicy policy() const { return policy_; }
+
+  /// The operator's per-unit resource costs c(r), as passed at build time.
+  const TaskShape& unit_costs() const { return unit_costs_; }
 
   /// Dense per-pool capacity vector.
   std::vector<double> CapacityVector() const;
@@ -100,6 +113,10 @@ class Fleet {
                                ResourceKind kind) const;
 
  private:
+  struct RestoreTag {};
+  Fleet(RestoreTag, std::vector<Cluster> clusters, TaskShape unit_costs,
+        PlacementPolicy policy);
+
   std::size_t IndexOf(const std::string& cluster) const;
 
   std::vector<Cluster> clusters_;

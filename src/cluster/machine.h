@@ -43,6 +43,11 @@ class Machine {
   /// across dimensions after hypothetically placing `shape`.
   double FillAfter(const TaskShape& shape) const;
 
+  /// Checkpoint restore: overwrites the in-use shape with a value saved
+  /// from another machine's used(). Bypasses Place so accumulated float
+  /// error round-trips bit-exactly; only exchange/snapshot.cpp calls it.
+  void RestoreUsed(const TaskShape& used) { used_ = used; }
+
  private:
   TaskShape capacity_;
   TaskShape used_;

@@ -107,4 +107,31 @@ bool QuotaTable::OverQuota(const std::string& team,
 
 std::vector<std::string> QuotaTable::Teams() const { return team_order_; }
 
+std::vector<QuotaTable::Row> QuotaTable::ExportRows() const {
+  std::vector<Row> rows;
+  for (const std::string& team : team_order_) {
+    const auto team_it = table_.find(team);
+    PM_CHECK(team_it != table_.end());
+    std::vector<PoolId> pools;
+    pools.reserve(team_it->second.size());
+    for (const auto& [pool, cell] : team_it->second) pools.push_back(pool);
+    std::sort(pools.begin(), pools.end());
+    for (PoolId pool : pools) {
+      const Cell& cell = team_it->second.at(pool);
+      rows.push_back(Row{team, pool, cell.entitlement, cell.usage});
+    }
+  }
+  return rows;
+}
+
+void QuotaTable::RestoreRows(const std::vector<Row>& rows) {
+  PM_CHECK_MSG(table_.empty() && team_order_.empty(),
+               "RestoreRows into a non-empty quota table");
+  for (const Row& row : rows) {
+    Cell& cell = CellOf(row.team, row.pool);
+    cell.entitlement = row.entitlement;
+    cell.usage = row.usage;
+  }
+}
+
 }  // namespace pm::cluster

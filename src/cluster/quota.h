@@ -71,6 +71,22 @@ class QuotaTable {
   /// Teams with any recorded entitlement or usage, in first-seen order.
   std::vector<std::string> Teams() const;
 
+  /// One (team, pool) cell, for checkpointing.
+  struct Row {
+    std::string team;
+    PoolId pool = 0;
+    double entitlement = 0.0;
+    double usage = 0.0;
+  };
+
+  /// Every cell, teams in first-seen order and pools ascending within a
+  /// team — a deterministic flattening of the table.
+  std::vector<Row> ExportRows() const;
+
+  /// Checkpoint restore into an empty table: replays rows so team order
+  /// and cell values round-trip exactly.
+  void RestoreRows(const std::vector<Row>& rows);
+
  private:
   struct Cell {
     double entitlement = 0.0;

@@ -48,6 +48,12 @@ class Xoshiro256StarStar {
   /// streams from one seed (one Jump per stream).
   void Jump();
 
+  /// Raw 256-bit state, for checkpointing (exchange/snapshot.cpp).
+  const std::array<std::uint64_t, 4>& state() const { return s_; }
+
+  /// Restores a state previously read via state().
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };
@@ -109,6 +115,13 @@ class RandomStream {
 
   /// Raw engine access (for tests).
   std::uint64_t NextRaw() { return engine_.Next(); }
+
+  /// Engine state for checkpointing; a stream restored with RestoreState
+  /// continues the exact draw sequence of the saved one.
+  std::array<std::uint64_t, 4> SaveState() const { return engine_.state(); }
+  void RestoreState(const std::array<std::uint64_t, 4>& s) {
+    engine_.set_state(s);
+  }
 
  private:
   Xoshiro256StarStar engine_;

@@ -56,4 +56,16 @@ std::string MarketAccounts::PayTeam(const std::string& team, Money amount,
                            std::move(memo));
 }
 
+void MarketAccounts::RebindForRestore(AccountId operator_account) {
+  PM_CHECK_MSG(operator_account < ledger_->NumAccounts(),
+               "restored operator account " << operator_account
+                                            << " not in ledger");
+  operator_ = operator_account;
+  teams_.clear();
+  for (AccountId id = 0; id < ledger_->NumAccounts(); ++id) {
+    if (id == operator_) continue;
+    teams_.emplace(ledger_->NameOf(id), id);
+  }
+}
+
 }  // namespace pm::exchange

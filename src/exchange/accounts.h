@@ -44,6 +44,13 @@ class MarketAccounts {
 
   const Ledger& ledger() const { return *ledger_; }
 
+  /// Checkpoint restore: rebinds this registry to the (freshly restored)
+  /// ledger contents. `operator_account` is the saved operator id; every
+  /// other ledger account is re-indexed as a team account keyed by its
+  /// name — the market ledger holds exactly the treasury plus one account
+  /// per team.
+  void RebindForRestore(AccountId operator_account);
+
  private:
   Ledger* ledger_;
   AccountId operator_;

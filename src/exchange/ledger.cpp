@@ -55,6 +55,26 @@ std::string Ledger::Transfer(AccountId from, AccountId to, Money amount,
   return {};
 }
 
+AccountId Ledger::RestoreAccount(std::string name, Money balance,
+                                 bool allow_negative) {
+  PM_CHECK_MSG(!name.empty(), "account needs a name");
+  PM_CHECK_MSG(allow_negative || !balance.IsNegative(),
+               "restored balance of '" << name
+                                       << "' is negative without overdraft");
+  const AccountId id = static_cast<AccountId>(accounts_.size());
+  accounts_.push_back(Account{std::move(name), balance, allow_negative});
+  return id;
+}
+
+void Ledger::RestoreJournal(std::vector<JournalEntry> journal,
+                            int next_sequence) {
+  PM_CHECK_MSG(journal_.empty(), "RestoreJournal over a live journal");
+  PM_CHECK_MSG(next_sequence >= static_cast<int>(journal.size()),
+               "journal sequence counter behind the journal itself");
+  journal_ = std::move(journal);
+  next_sequence_ = next_sequence;
+}
+
 Money Ledger::TotalBalance() const {
   Money total;
   for (const Account& a : accounts_) total += a.balance;

@@ -56,6 +56,15 @@ class Ledger {
   /// Renders the account table (name, balance) for reports.
   std::string RenderAccounts() const;
 
+  /// Checkpoint restore: appends an account with an exact (possibly
+  /// negative) balance and no journal entry. Restore replays accounts in
+  /// saved order so AccountIds round-trip.
+  AccountId RestoreAccount(std::string name, Money balance,
+                           bool allow_negative);
+
+  /// Checkpoint restore of the journal and its sequence counter.
+  void RestoreJournal(std::vector<JournalEntry> journal, int next_sequence);
+
  private:
   struct Account {
     std::string name;

@@ -271,6 +271,16 @@ AuctionReport Market::RunAuction() {
     net::DistributedConfig dist;
     dist.num_proxy_nodes = config_.distributed_proxy_nodes;
     dist.auction = config_.auction;
+    if (config_.wire_faults.Enabled()) {
+      dist.faults = config_.wire_faults;
+      // Each auction gets its own fault pattern, reproducibly: mix the
+      // configured wire seed with the auction index.
+      dist.faults.seed =
+          SplitMix64(config_.wire_faults.seed ^
+                     (0xa0761d6478bd642fULL *
+                      (static_cast<std::uint64_t>(history_.size()) + 1)))
+              .Next();
+    }
     net::DistributedResult distributed =
         net::RunDistributedAuction(auction, dist);
     result = std::move(distributed.result);

@@ -28,6 +28,7 @@
 #include "exchange/endowment.h"
 #include "exchange/report.h"
 #include "exchange/settlement_pipeline.h"
+#include "net/faults.h"
 #include "reserve/reserve_pricer.h"
 
 namespace pm::exchange {
@@ -94,6 +95,15 @@ struct MarketConfig {
   /// ComputePreliminaryPrices stays serial — it is a non-binding local
   /// simulation either way.
   std::size_t distributed_proxy_nodes = 0;
+
+  /// Lossy-wire injection for the distributed proxy path (ignored when
+  /// distributed_proxy_nodes == 0). Off by default; when enabled, every
+  /// auction derives a per-auction fault seed from `wire_faults.seed` and
+  /// the auction index, so fault patterns differ across auctions but are
+  /// reproducible bit for bit. Auction results are unchanged by the
+  /// faults (exactly-once in-order reassembly) or the run throws
+  /// CheckFailure on retry exhaustion.
+  net::FaultConfig wire_faults;
 };
 
 /// The periodic market over one fleet and one team population.
@@ -189,6 +199,24 @@ class Market {
 
   /// The seed this market was constructed with.
   std::uint64_t seed() const { return config_.seed; }
+
+  /// Serializes the market's full mutable state — fleet (machines, jobs,
+  /// pool-interning order), every resident agent (price beliefs, markup,
+  /// private RNG, holdings, placement memory), ledger, quota table,
+  /// market RNG and a digest of the auction history — into one checksummed
+  /// frame. Must be taken at an epoch boundary: no external bids may be
+  /// queued (CHECKed). Restore() on a market built with the same
+  /// constructor arguments resumes the exact draw-for-draw behaviour of
+  /// the snapshotted one; Snapshot() after a round trip is byte-identical.
+  std::vector<std::uint8_t> Snapshot() const;
+
+  /// Restores a frame produced by Snapshot() into this market. The market
+  /// must front the same configuration (config, fixed-price length) and
+  /// the same resident agent population (names and strategies are
+  /// CHECK-matched) as the snapshotted one; fleet and agent state are
+  /// overwritten in place. Queued external bids are discarded — the
+  /// snapshot predates them by construction.
+  void Restore(const std::vector<std::uint8_t>& frame);
 
  private:
   /// Where a collected bid came from: a resident agent (index + position

@@ -145,6 +145,23 @@ void FederationTreasury::Sweep(const std::string& team, std::size_t shard,
   out = Money();
 }
 
+Money FederationTreasury::RefundAllowance(const std::string& team,
+                                          std::size_t shard, int epoch) {
+  PM_CHECK(shard < floats_.size());
+  const exchange::AccountId id = EnsureTeam(team);
+  Money& out = outstanding_[team][shard];
+  const Money refunded = out;
+  if (refunded.IsZero()) return refunded;
+  const std::string status = ledger_.Transfer(
+      floats_[shard], id, refunded,
+      "refund allowance " + shard_names_[shard] + " -> " + team);
+  PM_CHECK_MSG(status.empty(), "allowance refund failed: " << status);
+  transfers_.push_back(CrossShardTransfer{
+      CrossShardTransfer::Kind::kReturn, epoch, team, shard, refunded});
+  out = Money();
+  return refunded;
+}
+
 Money FederationTreasury::PlanetBalance(const std::string& team) const {
   auto it = teams_.find(team);
   if (it == teams_.end()) return Money();

@@ -97,6 +97,14 @@ class FederationTreasury {
   void Sweep(const std::string& team, std::size_t shard,
              Money local_remaining, int epoch);
 
+  /// Returns the team's entire outstanding allowance in shard `k` to its
+  /// planet account as a kReturn — the failure-domain path: the shard was
+  /// restored from its epoch checkpoint, so nothing was actually spent and
+  /// Sweep's local_remaining (zero after a restore-and-withdraw) would
+  /// wrongly book the whole float as kSpend. Returns the amount refunded.
+  Money RefundAllowance(const std::string& team, std::size_t shard,
+                        int epoch);
+
   // ---------------------------------------------------------- balances --
   Money PlanetBalance(const std::string& team) const;
   Money ShardFloat(std::size_t shard) const;

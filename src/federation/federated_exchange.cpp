@@ -46,6 +46,20 @@ FederatedExchange::FederatedExchange(std::vector<ShardSpec> specs,
                  "set FederationConfig::proxy_nodes_per_shard, not "
                  "ShardSpec::market.distributed_proxy_nodes");
     spec.market.distributed_proxy_nodes = config_.proxy_nodes_per_shard;
+    PM_CHECK_MSG(!spec.market.wire_faults.Enabled(),
+                 "set FederationConfig::wire_faults, not "
+                 "ShardSpec::market.wire_faults");
+    if (config_.wire_faults.Enabled()) {
+      PM_CHECK_MSG(config_.proxy_nodes_per_shard > 0,
+                   "wire_faults need a wire: set proxy_nodes_per_shard");
+      spec.market.wire_faults = config_.wire_faults;
+      // One fault-seed stream per shard, so shards draw decorrelated
+      // fault patterns but each reproduces bit for bit.
+      SplitMix64 mix(config_.wire_faults.seed ^
+                     (0xbf58476d1ce4e5b9ULL *
+                      (static_cast<std::uint64_t>(k) + 1)));
+      spec.market.wire_faults.seed = mix.Next();
+    }
     // Aggregate-init: World has no default constructor (Fleet is built
     // whole by the generator).
     auto shard = std::unique_ptr<Shard>(
@@ -58,6 +72,17 @@ FederatedExchange::FederatedExchange(std::vector<ShardSpec> specs,
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  if (config_.supervisor.enabled) {
+    PM_CHECK_MSG(config_.supervisor.quarantine_streak >= 1 &&
+                     config_.supervisor.backoff_base >= 1 &&
+                     config_.supervisor.backoff_cap >=
+                         config_.supervisor.backoff_base,
+                 "supervisor: need quarantine_streak >= 1 and "
+                 "1 <= backoff_base <= backoff_cap");
+  }
+  health_.resize(shards_.size());
+  inject_fail_.assign(shards_.size(), 0);
+  inject_round_budget_.assign(shards_.size(), -1);
 
   // Economy layer. Everything stays null when disabled so the epoch loop
   // below is byte-for-byte the PR 2 path.
@@ -156,9 +181,42 @@ std::vector<ShardView> FederatedExchange::BuildShardViews() const {
             ? exchange::RecentPlacementFailureRate(
                   shard->market->History(), config_.router.failure_window)
             : 0.0;
+    // Failure-domain gating: the router refuses quarantined shards and
+    // sheds load off degraded/recovering ones.
+    view.health = health_[views.size()].status;
     views.push_back(std::move(view));
   }
   return views;
+}
+
+const ShardHealthStatus& FederatedExchange::ShardHealthOf(
+    std::size_t shard) const {
+  PM_CHECK(shard < health_.size());
+  return health_[shard];
+}
+
+void FederatedExchange::InjectShardFailure(std::size_t shard) {
+  PM_CHECK(shard < shards_.size());
+  inject_fail_[shard] = 1;
+}
+
+void FederatedExchange::InjectEpochRoundBudget(std::size_t shard,
+                                               int max_rounds) {
+  PM_CHECK(shard < shards_.size());
+  PM_CHECK_MSG(max_rounds >= 0, "round budget must be non-negative");
+  inject_round_budget_[shard] = max_rounds;
+}
+
+void FederatedExchange::EmergencySweep(int epoch) {
+  if (treasury_ == nullptr) return;
+  const std::string memo =
+      "emergency sweep epoch " + std::to_string(epoch);
+  for (const std::string& team : treasury_->Teams()) {
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const Money remaining = shards_[k]->market->WithdrawTeam(team, memo);
+      treasury_->Sweep(team, k, remaining, epoch);
+    }
+  }
 }
 
 std::vector<const cluster::Fleet*> FederatedExchange::ShardFleets() const {
@@ -223,6 +281,53 @@ void FederatedExchange::SubmitFederatedBid(FederatedBid bid) {
 
 FederationReport FederatedExchange::RunEpoch() {
   const int epoch = EpochCount();
+  if (!config_.supervisor.enabled && treasury_ != nullptr) {
+    // Unsupervised: a shard throwing mid-epoch propagates to the caller,
+    // but never with this epoch's allowances stranded in shard floats —
+    // the emergency sweep reconciles every (team, shard) pair first, so
+    // the planet ledger's invariants (conservation AND zero floats
+    // between epochs) hold in every terminal state.
+    try {
+      return RunEpochInternal(epoch);
+    } catch (...) {
+      EmergencySweep(epoch);
+      throw;
+    }
+  }
+  return RunEpochInternal(epoch);
+}
+
+FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
+  const bool supervised = config_.supervisor.enabled;
+
+  // S0. Epoch-start health transitions and checkpoints. Quarantined
+  // shards drain their backoff and sit the epoch out; one that has
+  // drained moves to recovering and rejoins. Active shards are
+  // checkpointed *before* any epoch mutation (allowance endowments
+  // included), so a contained failure can roll the shard back to the
+  // epoch boundary and RefundAllowance squares the planet ledger.
+  std::vector<std::vector<std::uint8_t>> checkpoints(shards_.size());
+  if (supervised) {
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      ShardHealthStatus& h = health_[k];
+      if (h.status == ShardHealth::kQuarantined) {
+        if (h.backoff_remaining > 0) {
+          --h.backoff_remaining;
+          h.active = false;
+        } else {
+          h.status = ShardHealth::kRecovering;
+          ++h.retries;
+          h.active = true;
+        }
+      } else {
+        h.active = true;
+      }
+      if (h.active) checkpoints[k] = shards_[k]->market->Snapshot();
+    }
+  }
+  const auto shard_active = [&](std::size_t k) {
+    return !supervised || health_[k].active;
+  };
 
   // 0. Treasury: push this epoch's shard allowances (planet account →
   // shard float → shard-local endowment), teams in registration order,
@@ -238,6 +343,9 @@ FederationReport FederatedExchange::RunEpoch() {
       const std::vector<Money> fair_share = exchange::SplitEvenly(
           treasury_->PlanetBalance(team.team), shards_.size());
       for (std::size_t k = 0; k < shards_.size(); ++k) {
+        // Quarantined shards run no auction: money pushed there would
+        // sit uselessly in the float all epoch.
+        if (!shard_active(k)) continue;
         const Money granted = treasury_->PushAllowance(
             team.team, k,
             std::min(team.per_shard_allowance, fair_share[k]), epoch);
@@ -270,6 +378,10 @@ FederationReport FederatedExchange::RunEpoch() {
     arb_plans = arbitrage_->PlanEpoch(&history_.back(), views,
                                       ShardFleets(), epoch);
     for (ArbitragePlan& plan : arb_plans) {
+      // A bid submitted to a quarantined shard would be stranded in its
+      // external queue (no auction runs to consume it) and poison the
+      // shard's next checkpoint.
+      if (!shard_active(plan.shard)) continue;
       if (plan.is_buy) {
         const Money granted = treasury_->PushAllowance(
             arbitrage_->team(), plan.shard, plan.funding, epoch);
@@ -292,10 +404,14 @@ FederationReport FederatedExchange::RunEpoch() {
   }
 
   // 1. Route. The queued federated bids become per-shard external bids,
-  // placed against the shared snapshot.
+  // placed against the shared snapshot. Under supervision the originals
+  // are kept: a bid whose shard fails mid-epoch is re-queued for next
+  // epoch's pass over the healthy shards.
   RoutingResult routing;
+  std::vector<FederatedBid> epoch_bids;
   if (!pending_.empty()) {
     ensure_views();
+    if (supervised) epoch_bids = pending_;
     MarketRouter router(config_.router, std::move(views));
     if (treasury_ != nullptr && config_.router.budget_pressure > 0.0) {
       // Treasury-aware routing: a team low on planet money spills to
@@ -319,17 +435,134 @@ FederationReport FederatedExchange::RunEpoch() {
 
   // 2. Clear every shard. Shards share no mutable state, so the rounds
   // run concurrently; each shard's work is sequential within the shard,
-  // which keeps results bit-identical across thread counts.
+  // which keeps results bit-identical across thread counts. Under
+  // supervision each shard epoch runs inside a containment boundary:
+  // the catch is INSIDE the per-shard lambda (ParallelFor only rethrows
+  // the first exception after every chunk finishes, which would lose all
+  // but one failure and kill the whole epoch), so a failed shard records
+  // its fault and the planet epoch completes without it.
   std::vector<ShardEpochSummary> summaries(shards_.size());
   const auto run_shard = [&](std::size_t k) {
     summaries[k].shard = k;
     summaries[k].name = shards_[k]->name;
-    summaries[k].report = shards_[k]->market->RunAuction();
+    if (!shard_active(k)) {
+      summaries[k].participated = false;
+      return;
+    }
+    const auto run_one = [&] {
+      exchange::AuctionReport r = shards_[k]->market->RunAuction();
+      // Injected crash: the auction ran to completion and mutated the
+      // shard before the fault lands — the worst case for containment.
+      PM_CHECK_MSG(inject_fail_[k] == 0,
+                   "injected failure: shard " << k << " ('"
+                       << shards_[k]->name << "') crashed mid-epoch");
+      const int budget = inject_round_budget_[k];
+      PM_CHECK_MSG(budget < 0 || r.rounds <= budget,
+                   "epoch budget exceeded: shard "
+                       << k << " ('" << shards_[k]->name << "') took "
+                       << r.rounds << " rounds (budget " << budget
+                       << ")");
+      summaries[k].report = std::move(r);
+    };
+    if (!supervised) {
+      run_one();  // Failures propagate (first rethrown by ParallelFor).
+      return;
+    }
+    try {
+      run_one();
+    } catch (const std::exception& e) {
+      summaries[k].failed = true;
+      summaries[k].failure = e.what();
+    }
   };
   if (pool_ != nullptr) {
     ParallelFor(pool_.get(), 0, shards_.size(), run_shard);
   } else {
     for (std::size_t k = 0; k < shards_.size(); ++k) run_shard(k);
+  }
+  // One-shot injections are consumed by the epoch that ran them.
+  std::fill(inject_fail_.begin(), inject_fail_.end(), 0);
+  std::fill(inject_round_budget_.begin(), inject_round_budget_.end(), -1);
+
+  // S1. Containment aftermath: roll failed shards back to their epoch
+  // checkpoints, advance every shard's health machine, square the planet
+  // ledger, and recover the failed shards' federated bids.
+  HealthBlock health_block;
+  if (supervised) {
+    health_block.supervised = true;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      ShardHealthStatus& h = health_[k];
+      if (!h.active) {
+        ++health_block.quarantined_shards;
+      } else if (summaries[k].failed) {
+        // Bit-identical rejoin: the shard resumes from the exact state
+        // the epoch started from, whatever the failure corrupted.
+        shards_[k]->market->Restore(checkpoints[k]);
+        ++h.restored_checkpoints;
+        ++health_block.restored_checkpoints;
+        ++health_block.failed_shards;
+        ++h.failure_streak;
+        if (h.failure_streak >= config_.supervisor.quarantine_streak) {
+          // The streak is NOT reset: a recovering shard that fails its
+          // probation epoch re-quarantines immediately, with backoff
+          // doubled per quarantine up to the cap.
+          h.status = ShardHealth::kQuarantined;
+          int backoff = config_.supervisor.backoff_base;
+          for (int i = 0; i < h.quarantine_count &&
+                          backoff < config_.supervisor.backoff_cap;
+               ++i) {
+            backoff <<= 1;
+          }
+          h.backoff_remaining =
+              std::min(backoff, config_.supervisor.backoff_cap);
+          ++h.quarantine_count;
+        } else {
+          h.status = ShardHealth::kDegraded;
+        }
+      } else {
+        h.failure_streak = 0;
+        h.status = ShardHealth::kHealthy;
+      }
+      summaries[k].health = h.status;
+    }
+
+    // Failed shards' treasury floats: the restore reverted their
+    // shard-local endowments, so nothing was spent and each team's full
+    // outstanding allowance returns to its planet account.
+    if (treasury_ != nullptr) {
+      Money refunded;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (!summaries[k].failed) continue;
+        for (const std::string& team : treasury_->Teams()) {
+          refunded += treasury_->RefundAllowance(team, k, epoch);
+        }
+      }
+      health_block.refunded_allowance = refunded.ToDouble();
+    }
+
+    // Failed shards' routed federated bids. A bid all of whose parts
+    // landed on failed shards is re-queued whole for next epoch's router
+    // pass (reroute_failed_bids); parts whose sibling parts settled on
+    // healthy shards — splits and mirrors — are counted refunded instead
+    // (their money never left the planet ledger, and re-buying them
+    // would double the quantities the healthy parts already won).
+    for (std::size_t i = 0; i < routing.decisions.size(); ++i) {
+      const RouteDecision& decision = routing.decisions[i];
+      if (decision.shards.empty()) continue;
+      std::size_t failed_parts = 0;
+      for (std::size_t s : decision.shards) {
+        if (summaries[s].failed) ++failed_parts;
+      }
+      if (failed_parts == 0) continue;
+      if (config_.supervisor.reroute_failed_bids &&
+          failed_parts == decision.shards.size()) {
+        pending_.push_back(epoch_bids[i]);
+        ++health_block.rerouted_bids;
+      } else {
+        health_block.refunded_bids += failed_parts;
+      }
+    }
+    health_block.statuses = health_;
   }
 
   // 3. Merge into the planet-wide report. The clearing-price spread is
@@ -338,6 +571,7 @@ FederationReport FederatedExchange::RunEpoch() {
   FederationReport report = BuildFederationReport(epoch,
                                                   std::move(summaries),
                                                   std::move(routing));
+  report.health = std::move(health_block);
   report.clearing_spread =
       ComputeClearingSpread(report, ShardFleets());
 
@@ -365,6 +599,14 @@ FederationReport FederatedExchange::RunEpoch() {
                              std::to_string(epoch);
     for (const std::string& team : treasury_->Teams()) {
       for (std::size_t k = 0; k < shards_.size(); ++k) {
+        // Failed shards were restored to the epoch boundary (their
+        // floats already refunded) and quarantined shards were never
+        // funded: sweeping either would touch a ledger this epoch never
+        // legitimately reached.
+        if (supervised && (!report.shards[k].participated ||
+                           report.shards[k].failed)) {
+          continue;
+        }
         const Money remaining =
             shards_[k]->market->WithdrawTeam(team, memo);
         treasury_->Sweep(team, k, remaining, epoch);
@@ -386,6 +628,15 @@ FederationReport FederatedExchange::RunEpoch() {
   if (rebalancer_ != nullptr) {
     for (const MigrationPlan& plan :
          rebalancer_->Observe(report, ShardFleets())) {
+      // Capacity never migrates into or out of a shard still proving
+      // itself: a failed/quarantined shard's empty report reads as 0%
+      // utilization, which would otherwise make it the planet's
+      // favourite donor.
+      if (supervised &&
+          (health_[plan.from_shard].status != ShardHealth::kHealthy ||
+           health_[plan.to_shard].status != ShardHealth::kHealthy)) {
+        continue;
+      }
       report.migrations.push_back(ApplyMigration(plan, epoch));
     }
   }

@@ -35,6 +35,7 @@
 #include "exchange/market.h"
 #include "federation/arbitrage.h"
 #include "federation/economy.h"
+#include "federation/health.h"
 #include "federation/rebalance.h"
 #include "federation/report.h"
 #include "federation/router.h"
@@ -96,6 +97,26 @@ struct FederationConfig {
 
   /// Treasury / arbitrage / rebalancing (all default off).
   EconomyConfig economy;
+
+  /// Epoch supervisor (failure domains). Off (the default), RunEpoch is
+  /// bit-identical to the unsupervised federation: no checkpoints are
+  /// taken and a shard failure propagates as an exception — after an
+  /// emergency treasury sweep so the planet ledger's conservation
+  /// invariant holds even then. On, each shard epoch runs inside a
+  /// containment boundary: a throwing shard (or one exceeding an injected
+  /// round budget) is rolled back to its epoch-boundary checkpoint, its
+  /// treasury float refunded, its routed bids re-routed or refunded, and
+  /// its health machine advanced (healthy → degraded → quarantined →
+  /// recovering) while the planet epoch completes without it.
+  SupervisorConfig supervisor;
+
+  /// Federation-wide lossy-wire injection for the shards' proxy paths.
+  /// Requires proxy_nodes_per_shard > 0; each shard derives its own fault
+  /// seed from `wire_faults.seed` and its index, so fault patterns differ
+  /// per shard but reproduce bit for bit. Per-shard
+  /// ShardSpec::market.wire_faults must be left disabled (construction
+  /// fails loudly otherwise), mirroring the proxy-node rule.
+  net::FaultConfig wire_faults;
 };
 
 /// N sharded markets behind one planet-wide exchange.
@@ -161,6 +182,25 @@ class FederatedExchange {
   const std::vector<FederationReport>& History() const { return history_; }
   int EpochCount() const { return static_cast<int>(history_.size()); }
 
+  // ------------------------------------------------- failure domains --
+  /// Shard k's live health record (all-healthy defaults when the
+  /// supervisor is off).
+  const ShardHealthStatus& ShardHealthOf(std::size_t shard) const;
+
+  /// One-shot fault injection: the next epoch, shard k's auction runs to
+  /// completion and then throws — exactly the shape of a crash landing
+  /// after state was mutated, so containment must roll the shard back.
+  /// With the supervisor on the failure is contained; off, it propagates
+  /// out of RunEpoch (after the emergency treasury sweep). Cleared after
+  /// the epoch; scenario timelines re-inject per epoch.
+  void InjectShardFailure(std::size_t shard);
+
+  /// One-shot virtual-time epoch budget: next epoch, shard k fails if its
+  /// auction takes more than `max_rounds` clock rounds — the deterministic
+  /// stand-in for a wall-clock epoch deadline. Contained or propagated
+  /// exactly like InjectShardFailure.
+  void InjectEpochRoundBudget(std::size_t shard, int max_rounds);
+
   /// Read-only fleet pointers in shard order (price-signal and
   /// rebalancing helpers take these).
   std::vector<const cluster::Fleet*> ShardFleets() const;
@@ -191,6 +231,17 @@ class FederatedExchange {
   /// Executes one planned cluster migration and returns its record.
   ClusterMigration ApplyMigration(const MigrationPlan& plan, int epoch);
 
+  /// The epoch body; RunEpoch wraps it with the exception-unwind path.
+  FederationReport RunEpochInternal(int epoch);
+
+  /// Reconciles every (team, shard) float back onto the planet ledger —
+  /// the exception-unwind path for the unsupervised federation: without
+  /// it a shard throwing mid-epoch leaves this epoch's allowances
+  /// stranded in shard floats forever (conservation still sums, but the
+  /// between-epochs zero-float contract breaks and the money is lost to
+  /// its teams). Withdraws each team's shard-local balance and sweeps.
+  void EmergencySweep(int epoch);
+
   FederationConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Stable addresses: each
                                                 // market points into its
@@ -198,6 +249,11 @@ class FederatedExchange {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<FederatedBid> pending_;
   std::vector<FederationReport> history_;
+
+  // Failure domains (one slot per shard).
+  std::vector<ShardHealthStatus> health_;
+  std::vector<char> inject_fail_;        // One-shot crash injection.
+  std::vector<int> inject_round_budget_; // One-shot budgets (-1 = none).
 
   // Economy layer (all null/empty when disabled).
   std::unique_ptr<FederationTreasury> treasury_;

@@ -1,0 +1,19 @@
+#include "federation/health.h"
+
+namespace pm::federation {
+
+std::string_view ToString(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kQuarantined:
+      return "quarantined";
+    case ShardHealth::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
+}  // namespace pm::federation

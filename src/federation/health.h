@@ -1,0 +1,84 @@
+// planetmarket: shard failure domains — the health state machine that the
+// epoch supervisor drives.
+//
+// Each shard owns a four-state health record:
+//
+//   healthy ──fail──► degraded ──streak──► quarantined ──backoff──►
+//   recovering ──clean epoch──► healthy   (fail again ──► quarantined)
+//
+// A *failure* is a shard epoch that threw (PM_CHECK tripping anywhere in
+// the auction/settlement path, a wire link going down after retry
+// exhaustion) or blew through its injected round budget. The supervisor
+// contains the failure — the shard is rolled back to its epoch-boundary
+// checkpoint, its treasury float refunded, its routed bids re-routed or
+// refunded — and this record decides what the shard is allowed to do next
+// epoch. Backoff is denominated in epochs (virtual time), doubling per
+// quarantine up to a cap, so the whole trajectory is deterministic and
+// bit-identical across reruns and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pm::federation {
+
+/// Where a shard sits in its failure-recovery lifecycle.
+enum class ShardHealth {
+  kHealthy,      // Full participant.
+  kDegraded,     // Failed recently; participates but sheds routed load.
+  kQuarantined,  // Sitting out entirely while its backoff drains.
+  kRecovering,   // Backoff drained; on probation for one clean epoch.
+};
+
+std::string_view ToString(ShardHealth health);
+
+/// Supervisor policy knobs. Defaults keep the supervisor off: RunEpoch is
+/// then bit-identical to the pre-supervisor federation (no checkpoints are
+/// taken, failures propagate as exceptions after an emergency float sweep).
+struct SupervisorConfig {
+  bool enabled = false;
+
+  /// Consecutive failures before a shard is quarantined (a single failure
+  /// only degrades it).
+  int quarantine_streak = 2;
+
+  /// Epochs of backoff on first quarantine; doubles per subsequent
+  /// quarantine (base, 2·base, 4·base, ...) up to `backoff_cap`.
+  int backoff_base = 1;
+  int backoff_cap = 8;
+
+  /// What happens to a failed/quarantined shard's routed federated bids:
+  /// true re-queues the original FederatedBids for next epoch's router
+  /// pass over the healthy shards; false drops them (their money was never
+  /// spent — the restore reverted the shard and the treasury refunded the
+  /// float — so "refunded" is bookkeeping, not a transfer).
+  bool reroute_failed_bids = true;
+};
+
+/// One shard's live health record, owned by FederatedExchange and
+/// summarized into FederationReport::health each epoch.
+struct ShardHealthStatus {
+  ShardHealth status = ShardHealth::kHealthy;
+
+  /// Consecutive failed epochs (reset by any clean active epoch).
+  int failure_streak = 0;
+
+  /// Epochs of quarantine left to sit out (counts down at epoch start).
+  int backoff_remaining = 0;
+
+  /// Times this shard has entered quarantine (drives exponential backoff).
+  int quarantine_count = 0;
+
+  /// Recovery attempts: quarantined → recovering transitions.
+  int retries = 0;
+
+  /// Checkpoint restores performed on this shard (one per contained
+  /// failure).
+  int restored_checkpoints = 0;
+
+  /// Whether the shard runs an auction this epoch (false while
+  /// quarantined). Set by the supervisor at epoch start.
+  bool active = true;
+};
+
+}  // namespace pm::federation

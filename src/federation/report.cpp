@@ -21,6 +21,13 @@ FederationReport BuildFederationReport(
 
   std::vector<double> planet_utilization;
   for (ShardEpochSummary& shard : shards) {
+    if (!shard.participated || shard.failed) {
+      // Quarantined or contained-failed shards ran no settled auction:
+      // their default-constructed reports must not poison the planet
+      // aggregates (all_converged especially — a contained failure is
+      // not a convergence failure).
+      continue;
+    }
     const exchange::AuctionReport& r = shard.report;
     report.total_bids += r.num_bids;
     report.total_winners += r.num_winners;
@@ -58,6 +65,12 @@ std::string RenderFederationSummary(const FederationReport& report) {
   TextTable table({"shard", "bids", "won", "rounds", "conv", "revenue",
                    "moves", "wire msgs"});
   for (const ShardEpochSummary& shard : report.shards) {
+    if (!shard.participated || shard.failed) {
+      const std::string why =
+          shard.failed ? "FAILED" : "quarantined";
+      table.AddRow({shard.name, why, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
     const exchange::AuctionReport& r = shard.report;
     table.AddRow({shard.name, std::to_string(r.num_bids),
                   std::to_string(r.num_winners), std::to_string(r.rounds),
@@ -112,6 +125,27 @@ std::string RenderFederationSummary(const FederationReport& report) {
        << (report.arbitrage.halted ? " [drawdown stop: buys halted]"
                                    : "")
        << '\n';
+  }
+  if (report.health.supervised) {
+    os << "health: " << report.health.failed_shards << " failed, "
+       << report.health.quarantined_shards << " quarantined, "
+       << report.health.restored_checkpoints << " restores, "
+       << report.health.rerouted_bids << " bids rerouted, "
+       << report.health.refunded_bids << " refunded, allowance $"
+       << FormatF(report.health.refunded_allowance, 2) << " returned\n";
+    for (std::size_t k = 0; k < report.health.statuses.size(); ++k) {
+      const ShardHealthStatus& s = report.health.statuses[k];
+      if (s.status == ShardHealth::kHealthy && s.retries == 0 &&
+          s.restored_checkpoints == 0) {
+        continue;  // Only shards with a story get a line.
+      }
+      os << "  shard " << k << " ["
+         << (k < report.shards.size() ? report.shards[k].name : "?")
+         << "]: " << ToString(s.status) << ", streak "
+         << s.failure_streak << ", backoff " << s.backoff_remaining
+         << ", retries " << s.retries << ", restores "
+         << s.restored_checkpoints << '\n';
+    }
   }
   for (const ClusterMigration& migration : report.migrations) {
     os << "rebalance: cluster " << migration.cluster << " (shard "

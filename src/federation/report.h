@@ -23,6 +23,20 @@ struct ShardEpochSummary {
   std::size_t shard = 0;
   std::string name;
   exchange::AuctionReport report;  // The shard's full auction report.
+
+  // --------------------------------------------------- failure domains --
+  /// False when the shard sat the epoch out (quarantined): `report` is
+  /// default-constructed and excluded from every planet aggregate.
+  bool participated = true;
+  /// True when the shard's epoch failed and was contained: the shard was
+  /// rolled back to its checkpoint, so `report` is default-constructed
+  /// and excluded from aggregates (notably the all_converged fold — a
+  /// contained failure is not a convergence failure).
+  bool failed = false;
+  /// What the failed shard threw (empty otherwise).
+  std::string failure;
+  /// Health after the post-epoch transition, for the report page.
+  ShardHealth health = ShardHealth::kHealthy;
 };
 
 /// The planet ledger's state after an epoch's settlement sweep (all
@@ -36,6 +50,21 @@ struct TreasurySnapshot {
   double float_total = 0.0;      // Σ shard floats (zero between epochs).
   double shard_net_total = 0.0;  // Σ shard net-settlement accounts.
   std::size_t transfers = 0;     // Cross-shard transfer records so far.
+};
+
+/// The failure-domain block of an epoch: what the supervisor contained
+/// and where every shard's health machine landed. Zeroed and disabled
+/// when the federation runs without a supervisor.
+struct HealthBlock {
+  bool supervised = false;
+  std::size_t failed_shards = 0;       // Contained failures this epoch.
+  std::size_t quarantined_shards = 0;  // Sitting out this epoch.
+  std::size_t rerouted_bids = 0;   // Failed shards' bids re-queued.
+  std::size_t refunded_bids = 0;   // Failed shards' bids dropped instead.
+  double refunded_allowance = 0.0; // Treasury floats refunded (dollars).
+  std::size_t restored_checkpoints = 0;  // Restores performed this epoch.
+  /// Post-transition health per shard (index-aligned with shards).
+  std::vector<ShardHealthStatus> statuses;
 };
 
 /// What the federation arbitrageur did this epoch.
@@ -109,6 +138,9 @@ struct FederationReport {
   TreasurySnapshot treasury;
   ArbitrageSummary arbitrage;
   std::vector<ClusterMigration> migrations;
+
+  /// Failure-domain audit (disabled without a supervisor).
+  HealthBlock health;
 };
 
 /// Merges per-shard summaries and the routing audit into one report.

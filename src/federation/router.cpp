@@ -55,6 +55,13 @@ ShardQuote MarketRouter::Quote(std::size_t shard,
   PM_CHECK(shard < views_.size());
   const ShardView& view = views_[shard];
   ShardQuote best;
+  if (view.health == ShardHealth::kQuarantined) {
+    return best;  // Sitting out this epoch: never a routing target.
+  }
+  const double health_penalty =
+      view.health == ShardHealth::kHealthy
+          ? 0.0
+          : config_.degraded_heat_penalty;
   bool have_best = false;
   bool best_feasible = false;
   for (const std::string& cluster : view.registry->Clusters()) {
@@ -84,6 +91,9 @@ ShardQuote MarketRouter::Quote(std::size_t shard,
     // capacity gone); count that against it.
     quote.heat *=
         1.0 + config_.failure_heat_weight * view.placement_failure_rate;
+    // Failure-domain shedding: a shard still proving itself after a
+    // contained failure reads hotter than its prices claim.
+    quote.heat *= 1.0 + health_penalty;
     const bool feasible = quote.fit >= 1.0;
     // Feasible clusters beat infeasible ones; within a class, cheapest
     // reserve cost wins; ties keep the earliest-interned cluster.

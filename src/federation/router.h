@@ -29,6 +29,7 @@
 #include "bid/bid.h"
 #include "cluster/job.h"
 #include "common/types.h"
+#include "federation/health.h"
 
 namespace pm::federation {
 
@@ -67,6 +68,12 @@ struct ShardView {
   /// keeps selling quota it cannot deliver physically is hot in a way
   /// reserve prices alone do not show.
   double placement_failure_rate = 0.0;
+  /// Failure-domain status from the epoch supervisor. Quarantined shards
+  /// quote viable == false (they run no auction this epoch, so routing a
+  /// bid there would strand it); degraded and recovering shards shed load
+  /// through RouterConfig::degraded_heat_penalty. Healthy (the default)
+  /// changes nothing.
+  ShardHealth health = ShardHealth::kHealthy;
 };
 
 /// One concrete bid the router placed on one shard.
@@ -125,6 +132,14 @@ struct RouterConfig {
 
   /// Multiples of the bid limit the team must hold for zero squeeze.
   double budget_comfort = 4.0;
+
+  // ---------------------------------------------- failure-domain gates --
+  /// Heat multiplier applied to degraded and recovering shards: their
+  /// quotes read as heat × (1 + degraded_heat_penalty), so routed load
+  /// sheds toward healthy shards while the shaky one proves itself. 0
+  /// (default) routes purely on price. Quarantined shards are excluded
+  /// outright regardless of this knob.
+  double degraded_heat_penalty = 0.0;
 };
 
 /// A per-shard quote for one requirement.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "auction/demand_engine.h"
@@ -20,21 +22,39 @@ using Frame = std::vector<std::uint8_t>;
 /// announcements are served incrementally (only users whose bundles touch
 /// a repriced pool re-run their argmin), with excess accumulation disabled
 /// — the auctioneer owns the excess.
+///
+/// With wire faults enabled the node's inbox carries Envelope frames
+/// (reassembled in sequence order) and its replies go out through a
+/// FaultyLink; retry exhaustion on the reply link pushes a reliable
+/// LinkDown and abandons the auction.
 class ProxyNode {
  public:
   ProxyNode(std::uint32_t node_id, const std::vector<bid::Bid>* bids,
             std::vector<std::uint32_t> users, std::size_t num_pools,
+            std::size_t num_nodes, const FaultConfig& faults,
             Channel<Frame>* to_auctioneer)
       : node_id_(node_id),
         users_(std::move(users)),
         engine_(*bids, users_, std::vector<double>(num_pools, 0.0)),
         to_auctioneer_(to_auctioneer) {
     workspace_.set_want_excess(false);
+    if (faults.Enabled()) {
+      reply_link_.emplace(
+          static_cast<std::uint32_t>(num_nodes) + node_id_, faults,
+          to_auctioneer_);
+      reassembler_.emplace();
+    }
   }
 
   Channel<Frame>& inbox() { return inbox_; }
 
   std::atomic<long long>& decode_failures() { return decode_failures_; }
+
+  /// Sender-side fault counters of the reply link (null with faults off).
+  /// Only meaningful after the node thread has been joined.
+  const LinkFaultStats* ReplyLinkStats() const {
+    return reply_link_ ? &reply_link_->stats() : nullptr;
+  }
 
   void Run() {
     for (;;) {
@@ -46,37 +66,72 @@ class ProxyNode {
         continue;
       }
       if (*type == MessageType::kTerminate) return;
+      if (reassembler_) {
+        // Lossy wire: everything except Terminate arrives enveloped.
+        if (*type != MessageType::kEnvelope) {
+          ++decode_failures_;
+          continue;
+        }
+        auto env = DecodeEnvelope(std::move(*frame));
+        if (!env.has_value()) {
+          ++decode_failures_;
+          continue;
+        }
+        for (Frame& payload :
+             reassembler_->Accept(env->seq, std::move(env->payload))) {
+          if (!HandleAnnounce(std::move(payload))) return;
+        }
+        continue;
+      }
       if (*type != MessageType::kPriceAnnounce) {
         ++decode_failures_;
         continue;
       }
-      const auto announce = DecodePriceAnnounce(std::move(*frame));
-      if (!announce.has_value()) {
-        ++decode_failures_;
-        continue;
-      }
-      engine_.CollectDemand(announce->prices, nullptr, workspace_);
-      DemandReply reply;
-      reply.round = announce->round;
-      reply.node = node_id_;
-      reply.decisions.reserve(users_.size());
-      const std::vector<auction::ProxyDecision>& decisions =
-          workspace_.decisions();
-      for (std::size_t i = 0; i < users_.size(); ++i) {
-        reply.decisions.push_back(WireDecision{
-            users_[i], decisions[i].bundle_index, decisions[i].cost});
-      }
-      to_auctioneer_->Push(Encode(reply));
+      if (!HandleAnnounce(std::move(*frame))) return;
     }
   }
 
  private:
+  /// Decodes one announce frame and sends the demand reply. Returns false
+  /// when the reply link died and the node must exit.
+  bool HandleAnnounce(Frame frame) {
+    const auto announce = DecodePriceAnnounce(std::move(frame));
+    if (!announce.has_value()) {
+      ++decode_failures_;
+      return true;
+    }
+    engine_.CollectDemand(announce->prices, nullptr, workspace_);
+    DemandReply reply;
+    reply.round = announce->round;
+    reply.node = node_id_;
+    reply.decisions.reserve(users_.size());
+    const std::vector<auction::ProxyDecision>& decisions =
+        workspace_.decisions();
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      reply.decisions.push_back(WireDecision{
+          users_[i], decisions[i].bundle_index, decisions[i].cost});
+    }
+    if (reply_link_) {
+      if (!reply_link_->Send(Encode(reply))) {
+        // Retry budget exhausted: tell the auctioneer out of band (the
+        // LinkDown itself is never faulted) and abandon the auction.
+        to_auctioneer_->Push(Encode(LinkDown{reply_link_->link()}));
+        return false;
+      }
+      return true;
+    }
+    to_auctioneer_->Push(Encode(reply));
+    return true;
+  }
+
   std::uint32_t node_id_;
   std::vector<std::uint32_t> users_;
   auction::DemandEngine engine_;
   auction::DemandEngine::Workspace workspace_;
   Channel<Frame> inbox_;
   Channel<Frame>* to_auctioneer_;
+  std::optional<FaultyLink> reply_link_;
+  std::optional<LinkReassembler> reassembler_;
   std::atomic<long long> decode_failures_{0};
 };
 
@@ -128,12 +183,26 @@ DistributedResult RunDistributedAuction(
   for (std::size_t u = 0; u < bids.size(); ++u) {
     shards[u % num_nodes].push_back(static_cast<std::uint32_t>(u));
   }
+  const bool lossy = config.faults.Enabled();
   std::vector<std::unique_ptr<ProxyNode>> nodes;
   nodes.reserve(num_nodes);
   for (std::size_t n = 0; n < num_nodes; ++n) {
     nodes.push_back(std::make_unique<ProxyNode>(
         static_cast<std::uint32_t>(n), &bids, std::move(shards[n]),
-        num_pools, &to_auctioneer));
+        num_pools, num_nodes, config.faults, &to_auctioneer));
+  }
+  // Directed links under loss: auctioneer→node n is link n, node
+  // n→auctioneer is link num_nodes+n (owned by the node). Reassemblers
+  // index the uplinks by node.
+  std::vector<FaultyLink> down_links;
+  std::vector<LinkReassembler> up_links;
+  if (lossy) {
+    down_links.reserve(num_nodes);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      down_links.emplace_back(static_cast<std::uint32_t>(n), config.faults,
+                              &nodes[n]->inbox());
+    }
+    up_links.resize(num_nodes);
   }
   std::vector<std::thread> threads;
   threads.reserve(num_nodes);
@@ -141,9 +210,31 @@ DistributedResult RunDistributedAuction(
     threads.emplace_back([&node] { node->Run(); });
   }
 
+  // Containment exit: a link died (retry exhaustion on either side).
+  // Unwind the whole auction — wake and join every node thread — before
+  // throwing, so the CheckFailure surfaces to the caller with no threads
+  // left behind.
+  auto fail_link = [&](const std::string& what) {
+    for (auto& node : nodes) node->inbox().Close();
+    for (std::thread& t : threads) t.join();
+    to_auctioneer.Close();
+    PM_CHECK_MSG(false, what);
+  };
+
+  // Transport counters under loss must stay scheduling-independent, so
+  // they count the *logical* payload stream (one frame per link per
+  // round); the fault counters summed after the join cover the physical
+  // extras (drops, retries, duplicates, stale copies).
   auto broadcast = [&](const Frame& frame) {
-    for (auto& node : nodes) {
-      node->inbox().Push(frame);
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (lossy) {
+        if (!down_links[n].Send(frame)) {
+          fail_link("wire: link to proxy node " + std::to_string(n) +
+                    " down after retry exhaustion");
+        }
+      } else {
+        nodes[n]->inbox().Push(frame);
+      }
       ++out.transport.messages_sent;
       out.transport.bytes_sent += static_cast<long long>(frame.size());
     }
@@ -171,18 +262,16 @@ DistributedResult RunDistributedAuction(
     broadcast(Encode(PriceAnnounce{round, result.prices}));
 
     // Collect one reply per node (FIFO channels; replies for this round
-    // only, enforced by the round tag).
-    std::size_t replies = 0;
-    while (replies < num_nodes) {
-      std::optional<Frame> frame = to_auctioneer.Pop();
-      PM_CHECK_MSG(frame.has_value(),
-                   "auctioneer channel closed mid-round");
+    // only, enforced by the round tag). Under loss the channel carries
+    // envelopes: stale and duplicate frames are shed by the per-link
+    // reassemblers, and a LinkDown aborts the auction.
+    auto consume_reply = [&](Frame payload) {
       ++out.transport.messages_sent;
-      out.transport.bytes_sent += static_cast<long long>(frame->size());
-      const auto reply = DecodeDemandReply(std::move(*frame));
+      out.transport.bytes_sent += static_cast<long long>(payload.size());
+      const auto reply = DecodeDemandReply(std::move(payload));
       if (!reply.has_value()) {
         ++out.transport.decode_failures;
-        continue;
+        return false;
       }
       PM_CHECK_MSG(reply->round == round,
                    "reply for round " << reply->round << " during round "
@@ -191,7 +280,44 @@ DistributedResult RunDistributedAuction(
         result.decisions[d.user] =
             auction::ProxyDecision{d.bundle_index, d.cost};
       }
-      ++replies;
+      return true;
+    };
+    std::size_t replies = 0;
+    while (replies < num_nodes) {
+      std::optional<Frame> frame = to_auctioneer.Pop();
+      PM_CHECK_MSG(frame.has_value(),
+                   "auctioneer channel closed mid-round");
+      if (!lossy) {
+        if (consume_reply(std::move(*frame))) ++replies;
+        continue;
+      }
+      const auto type = PeekType(*frame);
+      if (!type.has_value()) {
+        ++out.transport.decode_failures;
+        continue;
+      }
+      if (*type == MessageType::kLinkDown) {
+        const auto down = DecodeLinkDown(std::move(*frame));
+        fail_link("wire: proxy reply link " +
+                  std::to_string(down ? down->link : 0) +
+                  " down after retry exhaustion");
+      }
+      if (*type != MessageType::kEnvelope) {
+        ++out.transport.decode_failures;
+        continue;
+      }
+      auto env = DecodeEnvelope(std::move(*frame));
+      if (!env.has_value()) {
+        ++out.transport.decode_failures;
+        continue;
+      }
+      PM_CHECK_MSG(env->link >= num_nodes && env->link < 2 * num_nodes,
+                   "envelope on unknown link " << env->link);
+      const std::size_t n = env->link - num_nodes;
+      for (Frame& payload :
+           up_links[n].Accept(env->seq, std::move(env->payload))) {
+        if (consume_reply(std::move(payload))) ++replies;
+      }
     }
     // Replies arrive in nondeterministic order, but excess is derived
     // from the assembled user-indexed decision vector with the engine's
@@ -237,12 +363,33 @@ DistributedResult RunDistributedAuction(
     }
   }
 
-  broadcast(Encode(Terminate{result.converged}));
+  // Terminate is control-plane: it is delivered reliably (never wrapped,
+  // dropped, or delayed) so a finished auction cannot be aborted by the
+  // fault process on its way out.
+  {
+    const Frame term = Encode(Terminate{result.converged});
+    for (auto& node : nodes) {
+      node->inbox().Push(term);
+      ++out.transport.messages_sent;
+      out.transport.bytes_sent += static_cast<long long>(term.size());
+    }
+  }
   for (auto& node : nodes) node->inbox().Close();
   for (std::thread& t : threads) t.join();
   to_auctioneer.Close();
   for (auto& node : nodes) {
     out.transport.decode_failures += node->decode_failures().load();
+  }
+  if (lossy) {
+    LinkFaultStats wire;
+    for (const FaultyLink& link : down_links) wire += link.stats();
+    for (const auto& node : nodes) {
+      if (const LinkFaultStats* s = node->ReplyLinkStats()) wire += *s;
+    }
+    out.transport.frames_dropped = wire.dropped;
+    out.transport.frames_retried = wire.retries;
+    out.transport.frames_duplicated = wire.duplicated;
+    out.transport.frames_stale = wire.stale_redelivered;
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include <cstddef>
 
 #include "auction/clock_auction.h"
+#include "net/faults.h"
 
 namespace pm::net {
 
@@ -32,6 +33,12 @@ struct DistributedConfig {
   /// with intra_round_bisection, thread_pool, or record_trajectory set
   /// fails loudly instead of silently running something else.
   auction::ClockAuctionConfig auction;
+
+  /// Lossy-wire injection (off by default). When enabled, every directed
+  /// link wraps its frames in sequence-numbered envelopes with bounded
+  /// retry; the auction result stays bit-identical to the clean wire, or
+  /// the run throws CheckFailure when a link exhausts its retries.
+  FaultConfig faults;
 };
 
 /// Transport statistics from one distributed run.
@@ -39,6 +46,13 @@ struct TransportStats {
   long long messages_sent = 0;
   long long bytes_sent = 0;
   long long decode_failures = 0;  // Always 0 unless frames were corrupted.
+
+  // Lossy-wire counters (all zero with faults off). Sender-side, so they
+  // are deterministic for a given fault seed regardless of scheduling.
+  long long frames_dropped = 0;
+  long long frames_retried = 0;
+  long long frames_duplicated = 0;
+  long long frames_stale = 0;  // Stale copies redelivered by the delay line.
 };
 
 /// Result of the distributed auction: the standard result plus transport

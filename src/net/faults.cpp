@@ -1,0 +1,85 @@
+#include "net/faults.h"
+
+#include "common/check.h"
+
+namespace pm::net {
+
+std::uint64_t LinkFaultSeed(std::uint64_t seed, std::uint32_t link) {
+  SplitMix64 mix(seed ^ (0xd1b54a32d192ed03ULL * (link + 1)));
+  return mix.Next();
+}
+
+FaultyLink::FaultyLink(std::uint32_t link, const FaultConfig& config,
+                       Channel<Frame>* out)
+    : link_(link),
+      config_(config),
+      out_(out),
+      rng_(LinkFaultSeed(config.seed, link)) {
+  PM_CHECK(out != nullptr);
+  PM_CHECK_MSG(config_.drop >= 0.0 && config_.drop < 1.0,
+               "drop probability must be in [0, 1)");
+  PM_CHECK_MSG(config_.duplicate >= 0.0 && config_.duplicate <= 1.0,
+               "duplicate probability must be in [0, 1]");
+  PM_CHECK_MSG(config_.delay_window >= 0, "delay window must be >= 0");
+  PM_CHECK_MSG(config_.max_retries >= 0, "max_retries must be >= 0");
+}
+
+void FaultyLink::Deliver(Frame frame) {
+  if (config_.delay_window > 0) {
+    if (static_cast<int>(delay_buffer_.size()) >= config_.delay_window) {
+      // An old copy of a long-delivered frame surfaces late, just before
+      // this send. The receiver will identify it as stale by sequence.
+      out_->Push(std::move(delay_buffer_.front()));
+      delay_buffer_.pop_front();
+      ++stats_.stale_redelivered;
+    }
+    delay_buffer_.push_back(frame);
+  }
+  out_->Push(std::move(frame));
+}
+
+bool FaultyLink::Send(const Frame& payload) {
+  Envelope env;
+  env.link = link_;
+  env.seq = next_seq_++;
+  env.payload = payload;
+  Frame frame = Encode(env);
+
+  const int attempts = 1 + config_.max_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (rng_.Bernoulli(config_.drop)) {
+      ++stats_.dropped;
+      continue;  // Lost on the wire; sender-visible, retry same seq.
+    }
+    if (rng_.Bernoulli(config_.duplicate)) {
+      ++stats_.duplicated;
+      Deliver(frame);  // First copy …
+    }
+    Deliver(std::move(frame));  // … and the real delivery.
+    return true;
+  }
+  return false;  // Retry budget exhausted: link down.
+}
+
+std::vector<LinkReassembler::Frame> LinkReassembler::Accept(
+    std::uint32_t seq, Frame payload) {
+  std::vector<Frame> out;
+  if (seq < next_expected_) {
+    ++stale_dropped_;  // Stale redelivery or duplicate of a consumed seq.
+    return out;
+  }
+  if (!pending_.emplace(seq, std::move(payload)).second) {
+    ++stale_dropped_;  // Duplicate of a buffered, not-yet-consumed seq.
+    return out;
+  }
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_expected_;
+       it = pending_.erase(it)) {
+    out.push_back(std::move(it->second));
+    ++next_expected_;
+  }
+  return out;
+}
+
+}  // namespace pm::net

@@ -1,0 +1,130 @@
+// planetmarket: deterministic lossy-wire fault injection.
+//
+// The distributed auction's channels are perfectly reliable in-process
+// queues. Real planet-spanning links are not: frames are dropped,
+// duplicated, and delayed. This module decorates the send side of each
+// directed link with a seeded fault process and hardens the receive side
+// with sequence-numbered reassembly, so the clock-auction protocol can be
+// exercised — and proven bit-identical — under loss.
+//
+// Because the protocol is lockstep (one frame per link per round; the
+// auctioneer blocks until every node replies), faults are modelled
+// sender-visibly rather than as an asynchronous medium:
+//
+//   drop       A sent frame is lost before delivery; the sender sees the
+//              loss and immediately retries the same sequence number, up
+//              to max_retries times. Retry exhaustion takes the link down.
+//   duplicate  A delivered frame arrives twice; the receiver's
+//              reassembler drops the second copy by sequence number.
+//   delay      Stale-copy redelivery: each link remembers its last
+//              delay_window frames and re-delivers the oldest alongside
+//              the (delay_window+1)-th send — an old packet surfacing
+//              late. The receiver drops it as stale.
+//
+// All fault draws come from a per-link SplitMix-derived RandomStream, so
+// a given (seed, link, traffic) triple always produces the same fault
+// pattern — and the reassembled stream is always exactly-once, in-order,
+// which is what keeps auction results bit-identical to the clean wire.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/channel.h"
+#include "net/wire.h"
+
+namespace pm::net {
+
+/// Lossy-wire knobs. Default-constructed == faults off (no envelope
+/// framing at all; the wire is byte-identical to the fault-free
+/// protocol).
+struct FaultConfig {
+  double drop = 0.0;       // P(frame lost per delivery attempt).
+  double duplicate = 0.0;  // P(delivered frame arrives twice).
+  int delay_window = 0;    // Stale copies redelivered N sends late (0: off).
+  int max_retries = 3;     // Send attempts per frame before link-down.
+  std::uint64_t seed = 0;  // Root of the per-link fault streams.
+
+  bool Enabled() const {
+    return drop > 0.0 || duplicate > 0.0 || delay_window > 0;
+  }
+};
+
+/// Per-link fault/transport counters, summed into TransportStats.
+struct LinkFaultStats {
+  std::int64_t dropped = 0;        // Frames lost on the wire.
+  std::int64_t retries = 0;        // Re-sends after a loss.
+  std::int64_t duplicated = 0;     // Second copies delivered.
+  std::int64_t stale_redelivered = 0;  // Old frames surfacing late.
+
+  LinkFaultStats& operator+=(const LinkFaultStats& o) {
+    dropped += o.dropped;
+    retries += o.retries;
+    duplicated += o.duplicated;
+    stale_redelivered += o.stale_redelivered;
+    return *this;
+  }
+};
+
+/// Send side of one directed lossy link. Wraps every payload frame in a
+/// sequence-numbered Envelope and applies the seeded fault process.
+class FaultyLink {
+ public:
+  using Frame = std::vector<std::uint8_t>;
+
+  /// `link` is the directed link index (also written into envelopes);
+  /// the fault stream is derived from config.seed and the link index.
+  FaultyLink(std::uint32_t link, const FaultConfig& config,
+             Channel<Frame>* out);
+
+  /// Sends one payload frame through the lossy medium. Returns false if
+  /// every delivery attempt (1 + max_retries) was dropped — the caller
+  /// must treat the link as down. A false return never leaves a partial
+  /// copy of this frame on the wire.
+  bool Send(const Frame& payload);
+
+  std::uint32_t link() const { return link_; }
+  const LinkFaultStats& stats() const { return stats_; }
+
+ private:
+  // Pushes an already-built envelope frame, honouring the delay window.
+  void Deliver(Frame frame);
+
+  std::uint32_t link_;
+  FaultConfig config_;
+  Channel<Frame>* out_;
+  RandomStream rng_;
+  std::uint32_t next_seq_ = 0;
+  std::deque<Frame> delay_buffer_;  // Last delay_window delivered frames.
+  LinkFaultStats stats_;
+};
+
+/// Receive side of one directed lossy link: exactly-once, in-order
+/// reassembly by sequence number. Stale (seq < next expected) and
+/// duplicate frames are dropped; out-of-order frames are buffered until
+/// the gap fills.
+class LinkReassembler {
+ public:
+  using Frame = std::vector<std::uint8_t>;
+
+  /// Feeds one envelope; returns the payloads that became deliverable,
+  /// in sequence order (possibly empty).
+  std::vector<Frame> Accept(std::uint32_t seq, Frame payload);
+
+  std::int64_t stale_dropped() const { return stale_dropped_; }
+
+ private:
+  std::uint32_t next_expected_ = 0;
+  std::map<std::uint32_t, Frame> pending_;
+  std::int64_t stale_dropped_ = 0;
+};
+
+/// The fault stream for one directed link: config.seed and the link index
+/// mixed through SplitMix64 so links are independent but reproducible.
+std::uint64_t LinkFaultSeed(std::uint64_t seed, std::uint32_t link);
+
+}  // namespace pm::net

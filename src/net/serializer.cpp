@@ -52,6 +52,11 @@ void Serializer::WriteDoubleVector(const std::vector<double>& v) {
   for (double x : v) WriteDouble(x);
 }
 
+void Serializer::WriteBytes(const std::vector<std::uint8_t>& v) {
+  WriteU32(static_cast<std::uint32_t>(v.size()));
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
 std::vector<std::uint8_t> Serializer::FinishWithChecksum() && {
   const std::uint64_t checksum = Fnv1a(buffer_.data(), buffer_.size());
   WriteU64(checksum);
@@ -125,6 +130,16 @@ std::optional<std::string> Deserializer::ReadString() {
                 *size);
   pos_ += *size;
   return s;
+}
+
+std::optional<std::vector<std::uint8_t>> Deserializer::ReadBytes() {
+  const auto size = ReadU32();
+  if (!size) return std::nullopt;
+  if (!Need(*size)) return std::nullopt;
+  std::vector<std::uint8_t> v(frame_.begin() + pos_,
+                              frame_.begin() + pos_ + *size);
+  pos_ += *size;
+  return v;
 }
 
 std::optional<std::vector<double>> Deserializer::ReadDoubleVector() {

@@ -25,6 +25,7 @@ class Serializer {
   void WriteDouble(double v);
   void WriteString(const std::string& s);
   void WriteDoubleVector(const std::vector<double>& v);
+  void WriteBytes(const std::vector<std::uint8_t>& v);
 
   /// Appends the FNV-1a checksum of everything written so far and
   /// returns the finished frame.
@@ -55,6 +56,7 @@ class Deserializer {
   std::optional<double> ReadDouble();
   std::optional<std::string> ReadString();
   std::optional<std::vector<double>> ReadDoubleVector();
+  std::optional<std::vector<std::uint8_t>> ReadBytes();
 
   /// True when every payload byte has been consumed.
   bool Exhausted() const { return pos_ == payload_size_; }

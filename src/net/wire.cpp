@@ -31,6 +31,22 @@ std::vector<std::uint8_t> Encode(const Terminate& msg) {
   return std::move(s).FinishWithChecksum();
 }
 
+std::vector<std::uint8_t> Encode(const Envelope& msg) {
+  Serializer s;
+  s.WriteU8(static_cast<std::uint8_t>(MessageType::kEnvelope));
+  s.WriteU32(msg.link);
+  s.WriteU32(msg.seq);
+  s.WriteBytes(msg.payload);
+  return std::move(s).FinishWithChecksum();
+}
+
+std::vector<std::uint8_t> Encode(const LinkDown& msg) {
+  Serializer s;
+  s.WriteU8(static_cast<std::uint8_t>(MessageType::kLinkDown));
+  s.WriteU32(msg.link);
+  return std::move(s).FinishWithChecksum();
+}
+
 std::optional<MessageType> PeekType(
     const std::vector<std::uint8_t>& frame) {
   Deserializer d(frame);
@@ -41,6 +57,8 @@ std::optional<MessageType> PeekType(
     case MessageType::kPriceAnnounce:
     case MessageType::kDemandReply:
     case MessageType::kTerminate:
+    case MessageType::kEnvelope:
+    case MessageType::kLinkDown:
       return static_cast<MessageType>(*type);
   }
   return std::nullopt;
@@ -103,6 +121,38 @@ std::optional<Terminate> DecodeTerminate(std::vector<std::uint8_t> frame) {
   const auto converged = d.ReadU8();
   if (!converged || !d.Exhausted()) return std::nullopt;
   return Terminate{*converged != 0};
+}
+
+std::optional<Envelope> DecodeEnvelope(std::vector<std::uint8_t> frame) {
+  Deserializer d(std::move(frame));
+  if (!d.VerifyChecksum()) return std::nullopt;
+  const auto type = d.ReadU8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MessageType::kEnvelope)) {
+    return std::nullopt;
+  }
+  Envelope msg;
+  const auto link = d.ReadU32();
+  const auto seq = d.ReadU32();
+  auto payload = d.ReadBytes();
+  if (!link || !seq || !payload || !d.Exhausted()) return std::nullopt;
+  msg.link = *link;
+  msg.seq = *seq;
+  msg.payload = std::move(*payload);
+  return msg;
+}
+
+std::optional<LinkDown> DecodeLinkDown(std::vector<std::uint8_t> frame) {
+  Deserializer d(std::move(frame));
+  if (!d.VerifyChecksum()) return std::nullopt;
+  const auto type = d.ReadU8();
+  if (!type ||
+      *type != static_cast<std::uint8_t>(MessageType::kLinkDown)) {
+    return std::nullopt;
+  }
+  const auto link = d.ReadU32();
+  if (!link || !d.Exhausted()) return std::nullopt;
+  return LinkDown{*link};
 }
 
 }  // namespace pm::net

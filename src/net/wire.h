@@ -21,6 +21,8 @@ enum class MessageType : std::uint8_t {
   kPriceAnnounce = 1,
   kDemandReply = 2,
   kTerminate = 3,
+  kEnvelope = 4,
+  kLinkDown = 5,
 };
 
 /// Auctioneer → proxies: the current clocks.
@@ -48,9 +50,27 @@ struct Terminate {
   bool converged = false;
 };
 
+/// Lossy-wire framing (net/faults.h): a sequence-numbered wrapper around
+/// any other message. Only used when wire faults are enabled — with
+/// faults off no envelope is ever produced and frames are byte-identical
+/// to the fault-free protocol.
+struct Envelope {
+  std::uint32_t link = 0;  // Directed link index (sender-assigned).
+  std::uint32_t seq = 0;   // Per-link sequence number, starting at 0.
+  std::vector<std::uint8_t> payload;  // A complete inner frame.
+};
+
+/// Reliable out-of-band notice: the sender exhausted its retry budget on
+/// `link` and is abandoning the auction. Never wrapped in an Envelope.
+struct LinkDown {
+  std::uint32_t link = 0;
+};
+
 std::vector<std::uint8_t> Encode(const PriceAnnounce& msg);
 std::vector<std::uint8_t> Encode(const DemandReply& msg);
 std::vector<std::uint8_t> Encode(const Terminate& msg);
+std::vector<std::uint8_t> Encode(const Envelope& msg);
+std::vector<std::uint8_t> Encode(const LinkDown& msg);
 
 /// Peeks the type of a frame without consuming it (nullopt when the frame
 /// is too short or fails its checksum).
@@ -61,5 +81,7 @@ std::optional<PriceAnnounce> DecodePriceAnnounce(
 std::optional<DemandReply> DecodeDemandReply(
     std::vector<std::uint8_t> frame);
 std::optional<Terminate> DecodeTerminate(std::vector<std::uint8_t> frame);
+std::optional<Envelope> DecodeEnvelope(std::vector<std::uint8_t> frame);
+std::optional<LinkDown> DecodeLinkDown(std::vector<std::uint8_t> frame);
 
 }  // namespace pm::net

@@ -18,6 +18,8 @@ std::string_view ToString(EventKind kind) {
       return "capacity-expansion";
     case EventKind::kChurnWave:
       return "churn-wave";
+    case EventKind::kShardCrash:
+      return "shard-crash";
   }
   return "unknown";
 }
@@ -74,6 +76,12 @@ std::string ValidateEvent(const ScenarioEvent& event,
     case EventKind::kChurnWave:
       if (event.magnitude <= 0.0) {
         return "churn-wave: magnitude (arrival rate) must be > 0";
+      }
+      break;
+    case EventKind::kShardCrash:
+      if (event.count < 0) {
+        return "shard-crash: count (round budget; 0 = hard crash) must "
+               "be >= 0";
       }
       break;
   }

@@ -64,6 +64,18 @@ enum class EventKind {
   /// stream) for `duration` epochs, then stop arrivals (in-flight
   /// departures keep draining).
   kChurnWave,
+
+  /// Shard crash: inject a one-shot epoch failure into `shard` for each
+  /// of `duration` consecutive epochs. count == 0 injects a hard crash
+  /// (the shard's auction completes, mutates state, then throws — see
+  /// FederatedExchange::InjectShardFailure); count > 0 injects a
+  /// virtual-time epoch budget of `count` clock rounds instead (the
+  /// shard fails when its auction runs longer). With the federation's
+  /// supervisor on, each failure is contained: checkpoint restore,
+  /// float refund, bid re-route, health-machine advance. With it off
+  /// the crash propagates out of Run — the containment-failure path.
+  /// magnitude and budget are unused.
+  kShardCrash,
 };
 
 std::string_view ToString(EventKind kind);

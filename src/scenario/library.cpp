@@ -125,6 +125,52 @@ ScenarioSpec PriceWar() {
   return spec;
 }
 
+ScenarioSpec OutageDuringPriceWar() {
+  ScenarioSpec spec;
+  spec.name = "outage-during-price-war";
+  spec.description =
+      "The contested shard crashes hard in the middle of a price war — "
+      "twice. The epoch supervisor must contain both failures, restore "
+      "the shard from its checkpoint, refund its treasury float, "
+      "quarantine it after the streak, and re-admit it after backoff; "
+      "the planet finishes the run fully recovered with the ledger "
+      "conserved throughout.";
+  spec.shards.push_back(CompactShard("contested", 30, 0.50, 0.85));
+  spec.shards.push_back(CompactShard("quiet", 30, 0.20, 0.50));
+  for (federation::ShardSpec& shard : spec.shards) {
+    // Refund-gated settlement keeps the awarded == placed + refunded
+    // identity live through the crashes (the always-on SLO check).
+    shard.market.settlement.refund_unplaced = true;
+  }
+  spec.federation.router.policy = federation::RoutingPolicy::kHomeAffinity;
+  spec.federation.router.spill_threshold = 50.0;
+  // Degraded shards look 50% hotter to the router, so the recovering
+  // contested shard sheds load until it clears a probation epoch.
+  spec.federation.router.degraded_heat_penalty = 0.5;
+  spec.federation.economy.treasury = true;
+  spec.federation.supervisor.enabled = true;
+  spec.federation.supervisor.quarantine_streak = 2;
+  spec.federation.supervisor.backoff_base = 1;
+  // The war: four aggressors pin the contested shard at 8x fixed cost.
+  spec.events.push_back(ScenarioEvent{EventKind::kPriceWar,
+                                      /*epoch=*/1, /*duration=*/3,
+                                      /*shard=*/0, /*magnitude=*/8.0,
+                                      /*count=*/4,
+                                      Money::FromDollars(150000)});
+  // The outage: shard 0 crashes after its auction in epochs 2 and 3
+  // (streak 2 -> quarantined with backoff 1), sits out epoch 4, runs
+  // probation in epoch 5, and is healthy again for 6-7.
+  spec.events.push_back(ScenarioEvent{EventKind::kShardCrash,
+                                      /*epoch=*/2, /*duration=*/2,
+                                      /*shard=*/0, /*magnitude=*/0.0,
+                                      /*count=*/0, Money()});
+  spec.slo.expect_shard_failures = true;
+  spec.slo.expect_checkpoint_restores = true;
+  spec.slo.require_full_recovery = true;
+  spec.slo.min_epochs = 7;
+  return spec;
+}
+
 ScenarioSpec CapacityExpansion() {
   ScenarioSpec spec;
   spec.name = "capacity-expansion";
@@ -186,6 +232,7 @@ const std::vector<ScenarioSpec>& ScenarioLibrary() {
     specs.push_back(FlashCrowd());
     specs.push_back(ShardOutage());
     specs.push_back(PriceWar());
+    specs.push_back(OutageDuringPriceWar());
     specs.push_back(CapacityExpansion());
     specs.push_back(ChurnWave());
     return specs;

@@ -64,6 +64,12 @@ EpochSample SampleEpoch(const federation::FederationReport& report,
   sample.migrations = report.migrations.size();
   sample.total_pools = total_pools;
   sample.churn_started = churn_started;
+  sample.failed_shards = report.health.failed_shards;
+  sample.quarantined_shards = report.health.quarantined_shards;
+  sample.restored_checkpoints = report.health.restored_checkpoints;
+  sample.rerouted_bids = report.health.rerouted_bids;
+  sample.refunded_bids = report.health.refunded_bids;
+  sample.refunded_allowance = report.health.refunded_allowance;
   return sample;
 }
 
@@ -98,7 +104,13 @@ std::string ScenarioMetrics::ToJson() const {
        << ", \"treasury_residual\": " << Num(s.treasury_residual)
        << ", \"migrations\": " << s.migrations
        << ", \"total_pools\": " << s.total_pools
-       << ", \"churn_started\": " << s.churn_started << "}"
+       << ", \"churn_started\": " << s.churn_started
+       << ", \"failed_shards\": " << s.failed_shards
+       << ", \"quarantined_shards\": " << s.quarantined_shards
+       << ", \"restored_checkpoints\": " << s.restored_checkpoints
+       << ", \"rerouted_bids\": " << s.rerouted_bids
+       << ", \"refunded_bids\": " << s.refunded_bids
+       << ", \"refunded_allowance\": " << Num(s.refunded_allowance) << "}"
        << (i + 1 < series.size() ? "," : "") << "\n";
   }
   os << "  ],\n";
@@ -112,6 +124,9 @@ std::string ScenarioMetrics::ToJson() const {
   os << "    \"peak_clearing_spread\": " << Num(peak_clearing_spread)
      << ",\n";
   os << "    \"max_treasury_residual\": " << Num(max_treasury_residual)
+     << ",\n";
+  os << "    \"shard_failures\": " << shard_failures << ",\n";
+  os << "    \"checkpoint_restores\": " << checkpoint_restores
      << "\n  },\n";
   os << "  \"slo\": {\n";
   os << "    \"evaluated\": " << Bool(slos_evaluated) << ",\n";

@@ -51,6 +51,14 @@ struct EpochSample {
   // World shape.
   std::size_t total_pools = 0;     // Σ shard registry sizes.
   long long churn_started = 0;     // Cumulative churn jobs started.
+
+  // Failure domains (all zero without an epoch supervisor).
+  std::size_t failed_shards = 0;        // Contained failures this epoch.
+  std::size_t quarantined_shards = 0;   // Shards sitting the epoch out.
+  std::size_t restored_checkpoints = 0; // Checkpoint restores performed.
+  std::size_t rerouted_bids = 0;        // Failed shards' bids re-queued.
+  std::size_t refunded_bids = 0;        // Failed shards' parts refunded.
+  double refunded_allowance = 0.0;      // Treasury floats returned ($).
 };
 
 /// The verdict of one SLO-style assertion.
@@ -78,6 +86,8 @@ struct ScenarioMetrics {
   std::size_t placement_failures = 0;
   double peak_clearing_spread = 0.0;
   double max_treasury_residual = 0.0;
+  std::size_t shard_failures = 0;       // Σ contained failures.
+  std::size_t checkpoint_restores = 0;  // Σ restores across the run.
 
   /// SLO verdicts; empty when the run was too short to evaluate them
   /// (epochs < SloPolicy::min_epochs — the 1-epoch CI smokes).

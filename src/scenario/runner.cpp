@@ -89,6 +89,25 @@ void ScenarioRunner::Fire(std::size_t event_index) {
       return FireCapacityExpansion(event_index);
     case EventKind::kChurnWave:
       return FireChurnWave(event_index);
+    case EventKind::kShardCrash:
+      return FireShardCrash(event_index);
+  }
+}
+
+void ScenarioRunner::FireShardCrash(std::size_t event_index) {
+  const ScenarioEvent& event = spec_.events[event_index];
+  // Injections are one-shot (consumed by the epoch that runs them), so a
+  // multi-epoch crash window re-injects before each covered epoch.
+  const auto inject = [this, shard = event.shard, count = event.count] {
+    if (count > 0) {
+      exchange_->InjectEpochRoundBudget(shard, count);
+    } else {
+      exchange_->InjectShardFailure(shard);
+    }
+  };
+  inject();
+  for (int e = 1; e < event.duration; ++e) {
+    queue_.ScheduleAtEpoch(event.epoch + e, inject);
   }
 }
 
@@ -350,6 +369,8 @@ ScenarioMetrics ScenarioRunner::Run() {
         std::max(metrics.peak_clearing_spread, sample.clearing_spread);
     metrics.max_treasury_residual =
         std::max(metrics.max_treasury_residual, sample.treasury_residual);
+    metrics.shard_failures += sample.failed_shards;
+    metrics.checkpoint_restores += sample.restored_checkpoints;
   }
 
   EvaluateSlos(metrics);
@@ -431,6 +452,24 @@ void ScenarioRunner::EvaluateSlos(ScenarioMetrics& metrics) const {
     check("move-billing-nonzero", metrics.move_billing_total > 0.0,
           "move bills $" + FormatF(metrics.move_billing_total, 2) +
               " > 0");
+  }
+  if (slo.expect_shard_failures) {
+    check("shard-failures-contained", metrics.shard_failures > 0,
+          std::to_string(metrics.shard_failures) +
+              " contained failures > 0");
+  }
+  if (slo.expect_checkpoint_restores) {
+    check("checkpoint-restores-nonzero",
+          metrics.checkpoint_restores > 0,
+          std::to_string(metrics.checkpoint_restores) + " restores > 0");
+  }
+  if (slo.require_full_recovery) {
+    const EpochSample& last = metrics.series.back();
+    const bool recovered =
+        last.failed_shards == 0 && last.quarantined_shards == 0;
+    check("full-recovery", recovered,
+          recovered ? "final epoch ran with every shard participating"
+                    : "final epoch still had failed/quarantined shards");
   }
   if (slo.min_peak_clearing_spread > 0.0) {
     check("peak-clearing-spread",

@@ -114,6 +114,7 @@ class ScenarioRunner {
   void FireShardOutage(std::size_t event_index);
   void FireCapacityExpansion(std::size_t event_index);
   void FireChurnWave(std::size_t event_index);
+  void FireShardCrash(std::size_t event_index);
 
   /// Shared flash-crowd / price-war lifecycle: endow `count` federated
   /// teams named "<prefix>-N", activate the cohort, and schedule its

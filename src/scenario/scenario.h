@@ -54,6 +54,13 @@ struct SloPolicy {
   /// Peak epoch operator revenue must reach this multiple of epoch 0's
   /// (demand shocks swell what the market collects).
   double min_peak_revenue_ratio = 0.0;
+
+  // ----------------------------------------------- failure domains --
+  bool expect_shard_failures = false;      // Σ contained failures > 0.
+  bool expect_checkpoint_restores = false; // Σ restores > 0.
+  /// The final epoch must run with zero failed and zero quarantined
+  /// shards — every contained failure drained its backoff and rejoined.
+  bool require_full_recovery = false;
 };
 
 /// A complete named experiment.

@@ -249,6 +249,78 @@ TEST(DistributedAuctionTest, MatchesSerialExactly) {
   }
 }
 
+TEST(DistributedAuctionTest, MatchesSerialExactlyUnderLossyWire) {
+  // The lossy-wire extension of MatchesSerialExactly: drops, duplicates
+  // and stale redeliveries on every link must be absorbed by the
+  // retry/dedup layer without perturbing a single bit of the result.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auction::ClockAuction auction = RandomAuction(seed, 30);
+    auction::ClockAuctionConfig serial_config;
+    serial_config.alpha = 0.4;
+    serial_config.delta = 0.08;
+    const auction::ClockAuctionResult serial =
+        auction.Run(serial_config);
+
+    DistributedConfig dist;
+    dist.num_proxy_nodes = 4;
+    dist.auction = serial_config;
+    dist.faults.drop = 0.10;
+    dist.faults.duplicate = 0.10;
+    dist.faults.delay_window = 2;
+    dist.faults.max_retries = 8;  // Never plausibly exhausted at 10%.
+    dist.faults.seed = seed ^ 0xfaull;
+    const DistributedResult lossy = RunDistributedAuction(auction, dist);
+
+    ASSERT_EQ(serial.converged, lossy.result.converged);
+    EXPECT_EQ(serial.rounds, lossy.result.rounds);
+    EXPECT_EQ(serial.prices, lossy.result.prices);  // Bit-exact.
+    for (std::size_t u = 0; u < auction.NumUsers(); ++u) {
+      EXPECT_EQ(serial.decisions[u].bundle_index,
+                lossy.result.decisions[u].bundle_index);
+    }
+    EXPECT_EQ(lossy.transport.decode_failures, 0);
+    // The wire must actually have been hostile.
+    EXPECT_GT(lossy.transport.frames_dropped, 0);
+    EXPECT_GT(lossy.transport.frames_duplicated, 0);
+    EXPECT_GT(lossy.transport.frames_stale, 0);
+    EXPECT_EQ(lossy.transport.frames_retried,
+              lossy.transport.frames_dropped);
+  }
+}
+
+TEST(DistributedAuctionTest, LossyWireIsDeterministicPerSeed) {
+  const auction::ClockAuction auction = RandomAuction(21, 25);
+  DistributedConfig dist;
+  dist.auction.alpha = 0.4;
+  dist.auction.delta = 0.08;
+  dist.faults.drop = 0.08;
+  dist.faults.duplicate = 0.08;
+  dist.faults.delay_window = 1;
+  dist.faults.max_retries = 8;
+  dist.faults.seed = 99;
+  const DistributedResult a = RunDistributedAuction(auction, dist);
+  const DistributedResult b = RunDistributedAuction(auction, dist);
+  EXPECT_EQ(a.transport.frames_dropped, b.transport.frames_dropped);
+  EXPECT_EQ(a.transport.frames_duplicated, b.transport.frames_duplicated);
+  EXPECT_EQ(a.transport.frames_stale, b.transport.frames_stale);
+  EXPECT_EQ(a.transport.messages_sent, b.transport.messages_sent);
+  EXPECT_EQ(a.result.prices, b.result.prices);
+}
+
+TEST(DistributedAuctionTest, RetryExhaustionThrowsLinkDown) {
+  // A wire so bad the bounded retry gives up: the run must fail loudly
+  // (the federation supervisor turns this into a contained shard
+  // failure), never silently desync.
+  const auction::ClockAuction auction = RandomAuction(23, 20);
+  DistributedConfig dist;
+  dist.auction.alpha = 0.4;
+  dist.auction.delta = 0.08;
+  dist.faults.drop = 0.95;
+  dist.faults.max_retries = 2;
+  dist.faults.seed = 7;
+  EXPECT_THROW(RunDistributedAuction(auction, dist), pm::CheckFailure);
+}
+
 TEST(DistributedAuctionTest, MessageCountMatchesProtocol) {
   const auction::ClockAuction auction = RandomAuction(7, 20);
   DistributedConfig dist;
