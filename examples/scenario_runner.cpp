@@ -3,7 +3,17 @@
 //   $ ./example_scenario_runner --scenario shard-outage [--seed S]
 //         [--epochs E] [--threads T] [--out FILE] [--quiet]
 //         [--faults drop=P,dup=P,delay=N]
+//         [--metrics-out FILE] [--trace-out FILE] [--timings]
 //   $ ./example_scenario_runner --list
+//
+// --metrics-out / --trace-out arm the federation's telemetry plane and
+// write its deterministic exports: the metrics-registry JSON document
+// and the trace document (bid-lifecycle spans + retained flight-recorder
+// dumps). Both are byte-identical for identical (scenario, seed, epochs,
+// faults) runs at any --threads. --timings additionally collects
+// wall-clock epoch timings into the metrics document's separate timing
+// block — that block is NOT deterministic, which is why it needs its own
+// opt-in. An unwritable output path exits 2.
 //
 // --faults runs every shard behind pm::net proxy nodes on a lossy wire
 // (drop/duplicate probabilities, stale-redelivery window) with the epoch
@@ -27,15 +37,31 @@
 #include "common/check.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
 int Usage() {
   std::cerr << "usage: example_scenario_runner --scenario NAME "
                "[--seed S] [--epochs E] [--threads T] [--out FILE] "
-               "[--quiet] [--faults drop=P,dup=P,delay=N]\n"
+               "[--quiet] [--faults drop=P,dup=P,delay=N] "
+               "[--metrics-out FILE] [--trace-out FILE] [--timings]\n"
                "       example_scenario_runner --list\n";
   return 2;
+}
+
+/// Writes `content` to `path`, reporting failure (unwritable directory,
+/// permission, disk) instead of silently dropping the artifact.
+bool WriteFileOrComplain(const std::string& path,
+                         const std::string& content) {
+  std::ofstream file(path);
+  file << content;
+  file.flush();
+  if (!file.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  return true;
 }
 
 /// Parses "drop=P,dup=P,delay=N" (any subset, any order) into a
@@ -69,9 +95,12 @@ bool ParseFaults(const std::string& text, pm::net::FaultConfig& faults) {
 int main(int argc, char** argv) {
   std::string name;
   std::string out;
+  std::string metrics_out;
+  std::string trace_out;
   pm::scenario::RunnerConfig config;
   pm::net::FaultConfig faults;
   bool quiet = false;
+  bool timings = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +137,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--faults") {
       const char* v = next();
       if (v == nullptr || !ParseFaults(v, faults)) return Usage();
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      trace_out = v;
+    } else if (arg == "--timings") {
+      timings = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -126,6 +165,12 @@ int main(int argc, char** argv) {
   }
 
   pm::scenario::ScenarioSpec spec = pm::scenario::FindScenario(name);
+  const bool want_telemetry =
+      !metrics_out.empty() || !trace_out.empty() || timings;
+  if (want_telemetry) {
+    spec.federation.telemetry.enabled = true;
+    spec.federation.telemetry.wall_clock_timings = timings;
+  }
   if (faults.Enabled()) {
     // Lossy-wire mode: every shard clears through proxy nodes over the
     // faulty transport, with the supervisor armed so a link going down
@@ -155,11 +200,29 @@ int main(int argc, char** argv) {
   const std::string json = metrics.ToJson();
 
   if (!out.empty()) {
-    std::ofstream file(out);
-    file << json;
+    if (!WriteFileOrComplain(out, json)) return 2;
     if (!quiet) std::cerr << "wrote " << out << "\n";
   } else {
     std::cout << json;
+  }
+
+  if (want_telemetry) {
+    const pm::telemetry::Telemetry* telemetry =
+        runner.exchange().telemetry();
+    PM_CHECK(telemetry != nullptr);
+    if (!metrics_out.empty()) {
+      if (!WriteFileOrComplain(metrics_out,
+                               telemetry->MetricsJson(timings))) {
+        return 2;
+      }
+      if (!quiet) std::cerr << "wrote " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+      if (!WriteFileOrComplain(trace_out, telemetry->TraceJson())) {
+        return 2;
+      }
+      if (!quiet) std::cerr << "wrote " << trace_out << "\n";
+    }
   }
   if (!quiet) {
     std::cerr << "scenario " << name << ": " << metrics.epochs

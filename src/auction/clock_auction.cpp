@@ -119,6 +119,8 @@ ClockAuctionResult ClockAuction::Run(
     result.decisions = ws.decisions();
     result.excess = ws.excess();
     result.proxies_reevaluated = ws.proxies_evaluated();
+    result.full_collections = ws.full_collections();
+    result.incremental_collections = ws.incremental_collections();
   };
 
   auto normalize = [&](std::span<const double> raw) {
@@ -192,6 +194,7 @@ ClockAuctionResult ClockAuction::Run(
     double ws_lambda = 0.0;   // λ the workspace currently reflects.
     bool ws_cleared = false;  // Whether z(ws_lambda) ≤ 0.
     auto demand_at = [&](double lambda) {
+      ++result.bisection_probes;
       for (std::size_t r = 0; r < num_pools; ++r) {
         probe_prices[r] = result.prices[r] + lambda * step[r];
       }

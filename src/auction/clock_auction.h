@@ -139,6 +139,16 @@ struct ClockAuctionResult {
   /// of pools re-evaluate only the bidders touching those pools.
   long long proxies_reevaluated = 0;
 
+  /// Demand probes issued by intra-round bisection (zero when the knob
+  /// is off) — the bisection-phase slice of demand_evaluations.
+  long long bisection_probes = 0;
+
+  /// DemandEngine workspace phase split: full arena sweeps versus
+  /// incremental (delta) collections served over the run. Zero on the
+  /// wire path, where the engines live inside the proxy nodes.
+  long long full_collections = 0;
+  long long incremental_collections = 0;
+
   /// Per-round history when record_trajectory was set.
   std::vector<RoundRecord> trajectory;
 };

@@ -292,6 +292,10 @@ AuctionReport Market::RunAuction() {
   report.rounds = result.rounds;
   report.converged = result.converged;
   report.demand_evaluations = result.demand_evaluations;
+  report.proxies_reevaluated = result.proxies_reevaluated;
+  report.bisection_probes = result.bisection_probes;
+  report.full_collections = result.full_collections;
+  report.incremental_collections = result.incremental_collections;
   report.settled_prices = result.prices;
 
   if (config_.audit_system && result.converged) {

@@ -128,6 +128,14 @@ struct AuctionReport {
   int rounds = 0;
   bool converged = false;
   long long demand_evaluations = 0;
+  /// Engine-phase counters mirrored off ClockAuctionResult for the
+  /// telemetry plane: argmin sweeps actually run, bisection-probe count,
+  /// and the full-vs-incremental collection split (the latter two are
+  /// zero on the wire path, where the engines live in the proxy nodes).
+  long long proxies_reevaluated = 0;
+  long long bisection_probes = 0;
+  long long full_collections = 0;
+  long long incremental_collections = 0;
 
   // Wire traffic when the round ran behind pm::net proxy nodes
   // (MarketConfig::distributed_proxy_nodes > 0); zero on the in-process

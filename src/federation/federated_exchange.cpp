@@ -1,10 +1,12 @@
 #include "federation/federated_exchange.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "exchange/endowment.h"
 
 namespace pm::federation {
@@ -83,6 +85,18 @@ FederatedExchange::FederatedExchange(std::vector<ShardSpec> specs,
   health_.resize(shards_.size());
   inject_fail_.assign(shards_.size(), 0);
   inject_round_budget_.assign(shards_.size(), -1);
+
+  // Telemetry plane. Null when the gate is off, so every instrumentation
+  // site in the epoch loop costs one pointer test and nothing else.
+  if (config_.telemetry.enabled) {
+    std::vector<std::string> names;
+    names.reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      names.push_back(shard->name);
+    }
+    telemetry_ = std::make_unique<telemetry::Telemetry>(config_.telemetry,
+                                                        std::move(names));
+  }
 
   // Economy layer. Everything stays null when disabled so the epoch loop
   // below is byte-for-byte the PR 2 path.
@@ -276,6 +290,16 @@ void FederatedExchange::SubmitFederatedBid(FederatedBid bid) {
     }
     PM_CHECK_MSG(known, "unknown home shard '" << bid.home_shard << "'");
   }
+  if (telemetry_ != nullptr && config_.telemetry.trace_bids) {
+    // A supervisor re-queue re-enters through pending_ directly and keeps
+    // its trace; only a fresh bid opens a lifecycle here.
+    if (bid.trace == 0) bid.trace = telemetry_->tracer().NewTrace();
+    telemetry::Span& span =
+        telemetry_->EmitSpan(bid.trace, "submit", EpochCount(), -1);
+    span.attrs.emplace_back("team", bid.team);
+    span.attrs.emplace_back("tag", bid.tag);
+    span.attrs.emplace_back("limit", FormatF(bid.limit, 2));
+  }
   pending_.push_back(std::move(bid));
 }
 
@@ -299,6 +323,14 @@ FederationReport FederatedExchange::RunEpoch() {
 
 FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   const bool supervised = config_.supervisor.enabled;
+
+  // Wall-clock epoch timing is the one telemetry signal that cannot be
+  // deterministic; it flows into the registry's separate timing block,
+  // which only renders on an explicit MetricsJson(include_timings=true).
+  const bool time_epoch =
+      telemetry_ != nullptr && config_.telemetry.wall_clock_timings;
+  std::chrono::steady_clock::time_point wall_start;
+  if (time_epoch) wall_start = std::chrono::steady_clock::now();
 
   // S0. Epoch-start health transitions and checkpoints. Quarantined
   // shards drain their backoff and sit the epoch out; one that has
@@ -409,9 +441,19 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   // epoch's pass over the healthy shards.
   RoutingResult routing;
   std::vector<FederatedBid> epoch_bids;
+  // Trace id per routing input (index-aligned with routing.decisions) —
+  // captured before pending_ is cleared so the post-auction telemetry
+  // passes can join shard outcomes back to bid lifecycles.
+  std::vector<std::uint64_t> epoch_traces;
   if (!pending_.empty()) {
     ensure_views();
     if (supervised) epoch_bids = pending_;
+    if (telemetry_ != nullptr) {
+      epoch_traces.reserve(pending_.size());
+      for (const FederatedBid& fed : pending_) {
+        epoch_traces.push_back(fed.trace);
+      }
+    }
     MarketRouter router(config_.router, std::move(views));
     if (treasury_ != nullptr && config_.router.budget_pressure > 0.0) {
       // Treasury-aware routing: a team low on planet money spills to
@@ -430,6 +472,53 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
     for (const RoutedBid& routed : routing.routed) {
       shards_[routed.shard]->market->SubmitExternalBid(
           exchange::Market::ExternalBid{routed.team, routed.bid});
+    }
+
+    // Telemetry: router decisions and spill reasons (single-threaded —
+    // the shard auctions have not started).
+    if (telemetry_ != nullptr) {
+      telemetry::MetricsRegistry& reg = telemetry_->registry();
+      for (const RouteDecision& decision : routing.decisions) {
+        telemetry::Labels by_policy;
+        by_policy.phase = std::string(ToString(decision.policy));
+        if (decision.shards.empty()) {
+          reg.AddCounter("fed_router_unroutable", by_policy, 1.0);
+        } else {
+          reg.AddCounter("fed_router_bids_routed", by_policy, 1.0);
+          if (decision.spilled) {
+            reg.AddCounter("fed_router_spills", by_policy, 1.0);
+          }
+        }
+      }
+      reg.AddCounter("fed_router_parts_placed", telemetry::Labels{},
+                     static_cast<double>(routing.routed.size()));
+      if (config_.telemetry.trace_bids) {
+        for (std::size_t i = 0; i < routing.decisions.size(); ++i) {
+          if (epoch_traces[i] == 0) continue;
+          const RouteDecision& decision = routing.decisions[i];
+          telemetry::Span& span =
+              telemetry_->EmitSpan(epoch_traces[i], "route", epoch, -1);
+          span.attrs.emplace_back("policy",
+                                  std::string(ToString(decision.policy)));
+          span.attrs.emplace_back(
+              "parts", std::to_string(decision.shards.size()));
+          span.attrs.emplace_back("spilled",
+                                  decision.spilled ? "true" : "false");
+          if (!decision.shards.empty()) {
+            span.attrs.emplace_back("heat",
+                                    FormatF(decision.preferred_heat, 3));
+          }
+        }
+        for (const RoutedBid& routed : routing.routed) {
+          const std::uint64_t trace = epoch_traces[routed.bid_index];
+          if (trace == 0) continue;
+          telemetry::Span& span = telemetry_->EmitSpan(
+              trace, "enqueue", epoch, static_cast<int>(routed.shard));
+          span.attrs.emplace_back("bid", routed.bid.name);
+          span.attrs.emplace_back("limit", FormatF(routed.bid.limit, 2));
+          telemetry_->MirrorSpan(span);
+        }
+      }
     }
   }
 
@@ -484,6 +573,165 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   std::fill(inject_fail_.begin(), inject_fail_.end(), 0);
   std::fill(inject_round_budget_.begin(), inject_round_budget_.end(), -1);
 
+  // T1. Telemetry ingest at the epoch barrier: the shard auctions are
+  // done and the epoch is single-threaded again, so every write here is
+  // deterministic and ordered by shard index / routed-part order,
+  // independent of how the shards were scheduled above. This block must
+  // run BEFORE the S1 containment pass so a failed shard's flight dump
+  // can include its auction-phase spans and events.
+  if (telemetry_ != nullptr) {
+    telemetry::MetricsRegistry& reg = telemetry_->registry();
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      const ShardEpochSummary& s = summaries[k];
+      telemetry::Labels by_shard;
+      by_shard.shard = shards_[k]->name;
+      if (!s.participated) {
+        telemetry_->RecordEvent(k, epoch, "quarantined: sat the epoch out");
+        continue;
+      }
+      if (s.failed) {
+        reg.AddCounter("fed_shard_failures", by_shard, 1.0);
+        telemetry_->RecordEvent(k, epoch, "auction crashed: " + s.failure);
+        continue;
+      }
+      const exchange::AuctionReport& r = s.report;
+      // Hot-path counters surfaced through the report chain (DemandEngine
+      // workspace → ClockAuctionResult → AuctionReport) — nothing here
+      // ever executed inside the auction loops.
+      reg.AddCounter("fed_auction_rounds", by_shard,
+                     static_cast<double>(r.rounds));
+      reg.AddCounter("fed_demand_evaluations", by_shard,
+                     static_cast<double>(r.demand_evaluations));
+      reg.AddCounter("fed_proxies_reevaluated", by_shard,
+                     static_cast<double>(r.proxies_reevaluated));
+      reg.AddCounter("fed_bisection_probes", by_shard,
+                     static_cast<double>(r.bisection_probes));
+      {
+        telemetry::Labels by_phase = by_shard;
+        by_phase.phase = "full";
+        reg.AddCounter("fed_engine_collections", by_phase,
+                       static_cast<double>(r.full_collections));
+        by_phase.phase = "incremental";
+        reg.AddCounter("fed_engine_collections", by_phase,
+                       static_cast<double>(r.incremental_collections));
+      }
+      reg.AddCounter("fed_bids_seen", by_shard,
+                     static_cast<double>(r.num_bids));
+      reg.AddCounter("fed_winners", by_shard,
+                     static_cast<double>(r.num_winners));
+      reg.AddCounter("fed_external_rejections", by_shard,
+                     static_cast<double>(r.external_rejected));
+      // Revenue is a net flow (sell-side payouts can push it negative in
+      // an epoch), so it is a per-epoch gauge, not a monotone counter;
+      // the snapshot series carries its history.
+      reg.SetGauge("fed_operator_revenue_dollars", by_shard,
+                   r.operator_revenue);
+      reg.AddCounter("fed_placement_failures", by_shard,
+                     static_cast<double>(r.placement_failures));
+      reg.AddCounter("fed_partial_placements", by_shard,
+                     static_cast<double>(r.partial_placements));
+      reg.AddCounter("fed_refund_dollars", by_shard, r.refund_total);
+      reg.AddCounter("fed_move_billing_dollars", by_shard,
+                     r.move_billing_total);
+      reg.AddCounter("fed_jobs_added", by_shard,
+                     static_cast<double>(r.jobs_added));
+      reg.AddCounter("fed_jobs_removed", by_shard,
+                     static_cast<double>(r.jobs_removed));
+      reg.AddCounter("fed_transport_messages", by_shard,
+                     static_cast<double>(r.transport_messages));
+      reg.AddCounter("fed_transport_bytes", by_shard,
+                     static_cast<double>(r.transport_bytes));
+      reg.SetGauge("fed_utilization_spread", by_shard,
+                   exchange::UtilizationSpread(r.post_utilization));
+      reg.SetGauge("fed_rounds_last_epoch", by_shard,
+                   static_cast<double>(r.rounds));
+      const PoolRegistry& pools = shards_[k]->world.fleet.registry();
+      for (std::size_t p = 0; p < r.settled_prices.size(); ++p) {
+        telemetry::Labels by_kind = by_shard;
+        by_kind.kind = std::string(
+            ToString(pools.KeyOf(static_cast<PoolId>(p)).kind));
+        reg.Observe("fed_clearing_price", by_kind, r.settled_prices[p],
+                    /*lo=*/0.0, /*hi=*/50.0, /*bins=*/25);
+      }
+      telemetry_->RecordEvent(
+          k, epoch,
+          "auction: rounds=" + std::to_string(r.rounds) +
+              " bids=" + std::to_string(r.num_bids) + " winners=" +
+              std::to_string(r.num_winners) +
+              (r.converged ? "" : " (unconverged)"));
+    }
+
+    // Bid lifecycles: one shard-auction span per routed part, then its
+    // settlement fate — the matching award, an explicit gate rejection,
+    // or no award at all.
+    if (config_.telemetry.trace_bids) {
+      for (const RoutedBid& routed : routing.routed) {
+        const std::uint64_t trace = epoch_traces[routed.bid_index];
+        if (trace == 0) continue;
+        const std::size_t k = routed.shard;
+        const ShardEpochSummary& s = summaries[k];
+        telemetry::Span& span = telemetry_->EmitSpan(
+            trace, "shard-auction", epoch, static_cast<int>(k));
+        span.attrs.emplace_back("bid", routed.bid.name);
+        if (s.failed) {
+          span.attrs.emplace_back("outcome", "crashed");
+        } else {
+          span.attrs.emplace_back("rounds",
+                                  std::to_string(s.report.rounds));
+          span.attrs.emplace_back("converged",
+                                  s.report.converged ? "true" : "false");
+        }
+        telemetry_->MirrorSpan(span);
+        if (s.failed) continue;
+
+        const exchange::AwardRecord* award = nullptr;
+        for (const exchange::AwardRecord& a : s.report.awards) {
+          if (a.team == routed.team && a.bid_name == routed.bid.name) {
+            award = &a;
+            break;
+          }
+        }
+        if (award != nullptr) {
+          telemetry::Span& settle = telemetry_->EmitSpan(
+              trace, "settle", epoch, static_cast<int>(k));
+          settle.attrs.emplace_back("bid", routed.bid.name);
+          settle.attrs.emplace_back("payment", FormatF(award->payment, 2));
+          settle.attrs.emplace_back(
+              "placement",
+              std::string(exchange::ToString(award->outcome.status)));
+          if (award->outcome.refund > 0.0) {
+            settle.attrs.emplace_back("refund",
+                                      FormatF(award->outcome.refund, 2));
+          }
+          telemetry_->MirrorSpan(settle);
+          continue;
+        }
+        const exchange::ExternalRejection* rejection = nullptr;
+        for (const exchange::ExternalRejection& rej :
+             s.report.external_rejections) {
+          if (rej.team == routed.team && rej.bid_name == routed.bid.name) {
+            rejection = &rej;
+            break;
+          }
+        }
+        if (rejection != nullptr) {
+          telemetry::Span& rejected = telemetry_->EmitSpan(
+              trace, "reject", epoch, static_cast<int>(k));
+          rejected.attrs.emplace_back("bid", routed.bid.name);
+          rejected.attrs.emplace_back(
+              "reason",
+              std::string(exchange::ToString(rejection->reason)));
+          telemetry_->MirrorSpan(rejected);
+          continue;
+        }
+        telemetry::Span& lost = telemetry_->EmitSpan(
+            trace, "no-award", epoch, static_cast<int>(k));
+        lost.attrs.emplace_back("bid", routed.bid.name);
+        telemetry_->MirrorSpan(lost);
+      }
+    }
+  }
+
   // S1. Containment aftermath: roll failed shards back to their epoch
   // checkpoints, advance every shard's health machine, square the planet
   // ledger, and recover the failed shards' federated bids.
@@ -492,6 +740,7 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
     health_block.supervised = true;
     for (std::size_t k = 0; k < shards_.size(); ++k) {
       ShardHealthStatus& h = health_[k];
+      const ShardHealth before = h.status;
       if (!h.active) {
         ++health_block.quarantined_shards;
       } else if (summaries[k].failed) {
@@ -524,6 +773,41 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
         h.status = ShardHealth::kHealthy;
       }
       summaries[k].health = h.status;
+
+      if (telemetry_ != nullptr) {
+        const std::string transition = std::string(ToString(before)) +
+                                       " -> " +
+                                       std::string(ToString(h.status));
+        if (h.active && before != h.status) {
+          telemetry_->RecordEvent(k, epoch, "health: " + transition);
+        }
+        // Containment flight dump: the failed shard's recent ring (the
+        // health event above included) plus the full span chain of every
+        // traced bid that touched it this epoch.
+        if (summaries[k].failed && config_.telemetry.flight_recorder) {
+          std::vector<std::pair<std::uint64_t, std::vector<std::string>>>
+              chains;
+          for (const RoutedBid& routed : routing.routed) {
+            if (routed.shard != k) continue;
+            const std::uint64_t trace = epoch_traces[routed.bid_index];
+            if (trace == 0) continue;
+            bool seen = false;
+            for (const auto& chain : chains) {
+              seen = seen || chain.first == trace;
+            }
+            if (seen) continue;
+            std::vector<std::string> lines;
+            for (const telemetry::Span* span :
+                 telemetry_->tracer().SpansOf(trace)) {
+              lines.push_back(span->Render());
+            }
+            chains.emplace_back(trace, std::move(lines));
+          }
+          telemetry_->recorder().DumpShard(k, shards_[k]->name, epoch,
+                                           summaries[k].failure,
+                                           transition, chains);
+        }
+      }
     }
 
     // Failed shards' treasury floats: the restore reverted their
@@ -554,15 +838,49 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
         if (summaries[s].failed) ++failed_parts;
       }
       if (failed_parts == 0) continue;
+      const std::uint64_t trace =
+          telemetry_ != nullptr ? epoch_traces[i] : 0;
       if (config_.supervisor.reroute_failed_bids &&
           failed_parts == decision.shards.size()) {
         pending_.push_back(epoch_bids[i]);
         ++health_block.rerouted_bids;
+        if (trace != 0 && config_.telemetry.trace_bids) {
+          telemetry::Span& span =
+              telemetry_->EmitSpan(trace, "reroute", epoch, -1);
+          span.attrs.emplace_back("reason", "every part on a failed shard");
+        }
       } else {
         health_block.refunded_bids += failed_parts;
+        if (trace != 0 && config_.telemetry.trace_bids) {
+          telemetry::Span& span =
+              telemetry_->EmitSpan(trace, "refund-part", epoch, -1);
+          span.attrs.emplace_back("failed_parts",
+                                  std::to_string(failed_parts));
+          span.attrs.emplace_back(
+              "parts", std::to_string(decision.shards.size()));
+        }
       }
     }
     health_block.statuses = health_;
+
+    // Supervisor counters for the registry (still single-threaded).
+    if (telemetry_ != nullptr) {
+      telemetry::MetricsRegistry& reg = telemetry_->registry();
+      const telemetry::Labels planet;
+      reg.AddCounter("fed_supervisor_failed_shards", planet,
+                     static_cast<double>(health_block.failed_shards));
+      reg.AddCounter("fed_supervisor_quarantined_epochs", planet,
+                     static_cast<double>(health_block.quarantined_shards));
+      reg.AddCounter(
+          "fed_supervisor_restored_checkpoints", planet,
+          static_cast<double>(health_block.restored_checkpoints));
+      reg.AddCounter("fed_supervisor_rerouted_bids", planet,
+                     static_cast<double>(health_block.rerouted_bids));
+      reg.AddCounter("fed_supervisor_refunded_bids", planet,
+                     static_cast<double>(health_block.refunded_bids));
+      reg.AddCounter("fed_supervisor_refunded_allowance_dollars", planet,
+                     health_block.refunded_allowance);
+    }
   }
 
   // 3. Merge into the planet-wide report. The clearing-price spread is
@@ -620,6 +938,23 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
     report.treasury.shard_net_total =
         treasury_->ShardNetTotal().ToDouble();
     report.treasury.transfers = treasury_->Transfers().size();
+
+    // Treasury flow gauges, read after the sweep so the float total is
+    // the between-epochs invariant (zero) unless something leaked.
+    if (telemetry_ != nullptr) {
+      telemetry::MetricsRegistry& reg = telemetry_->registry();
+      const telemetry::Labels planet;
+      reg.SetGauge("fed_treasury_minted_dollars", planet,
+                   report.treasury.minted);
+      reg.SetGauge("fed_treasury_burned_dollars", planet,
+                   report.treasury.burned);
+      reg.SetGauge("fed_treasury_team_dollars", planet,
+                   report.treasury.team_total);
+      reg.SetGauge("fed_treasury_float_dollars", planet,
+                   report.treasury.float_total);
+      reg.SetGauge("fed_treasury_transfers", planet,
+                   static_cast<double>(report.treasury.transfers));
+    }
   }
 
   // 6. Rebalance: whole-cluster migrations planned off the merged report
@@ -638,6 +973,27 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
         continue;
       }
       report.migrations.push_back(ApplyMigration(plan, epoch));
+    }
+  }
+
+  // T2. Close the epoch's telemetry: planet-wide gauges, the logical
+  // epoch snapshot (the registry's series channel), and — outside the
+  // deterministic channel — the wall-clock timing.
+  if (telemetry_ != nullptr) {
+    telemetry::MetricsRegistry& reg = telemetry_->registry();
+    const telemetry::Labels planet;
+    reg.SetGauge("fed_clearing_spread", planet, report.clearing_spread);
+    if (!report.migrations.empty()) {
+      reg.AddCounter("fed_migrations", planet,
+                     static_cast<double>(report.migrations.size()));
+    }
+    reg.SnapshotEpoch(epoch);
+    if (time_epoch) {
+      reg.RecordTiming(
+          "epoch_wall_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count());
     }
   }
 

@@ -39,6 +39,7 @@
 #include "federation/rebalance.h"
 #include "federation/report.h"
 #include "federation/router.h"
+#include "telemetry/telemetry.h"
 
 namespace pm::federation {
 
@@ -109,6 +110,15 @@ struct FederationConfig {
   /// its health machine advanced (healthy → degraded → quarantined →
   /// recovering) while the planet epoch completes without it.
   SupervisorConfig supervisor;
+
+  /// The telemetry plane (metrics registry, bid tracing, flight
+  /// recorder). Off (the default), no Telemetry object is constructed,
+  /// every instrumentation site below costs one null-pointer test, and
+  /// epoch behavior plus every report is bit-identical to a federation
+  /// without the plane (asserted by tests/telemetry_test.cpp). On, all
+  /// telemetry writes happen in RunEpoch's single-threaded barrier
+  /// sections, so exports stay byte-identical across thread counts.
+  telemetry::TelemetryConfig telemetry;
 
   /// Federation-wide lossy-wire injection for the shards' proxy paths.
   /// Requires proxy_nodes_per_shard > 0; each shard derives its own fault
@@ -214,6 +224,9 @@ class FederatedExchange {
   /// The fleet rebalancer (null when disabled).
   const FleetRebalancer* rebalancer() const { return rebalancer_.get(); }
 
+  /// The telemetry plane (null when FederationConfig::telemetry is off).
+  const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
+
  private:
   struct Shard {
     std::string name;
@@ -260,6 +273,9 @@ class FederatedExchange {
   std::unique_ptr<ArbitrageAgent> arbitrage_;
   std::unique_ptr<FleetRebalancer> rebalancer_;
   std::vector<FederatedTeam> federated_teams_;
+
+  // Telemetry plane (null when FederationConfig::telemetry is off).
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
 
 }  // namespace pm::federation

@@ -168,7 +168,8 @@ RoutingResult MarketRouter::Route(
   result.decisions.reserve(bids.size());
   const std::size_t num_shards = views_.size();
 
-  for (const FederatedBid& fed : bids) {
+  for (std::size_t bid_index = 0; bid_index < bids.size(); ++bid_index) {
+    const FederatedBid& fed = bids[bid_index];
     const auto balance = planet_balances.find(fed.team);
     const double spill =
         balance != planet_balances.end()
@@ -250,7 +251,8 @@ RoutingResult MarketRouter::Route(
         result.routed.push_back(RoutedBid{
             target, fed.team,
             Materialize(quotes[target], target, fed, fed.quantity,
-                        fed.limit, "")});
+                        fed.limit, ""),
+            bid_index});
         break;
       }
       case RoutingPolicy::kCheapestPrice: {
@@ -261,7 +263,8 @@ RoutingResult MarketRouter::Route(
         result.routed.push_back(RoutedBid{
             target, fed.team,
             Materialize(quotes[target], target, fed, fed.quantity,
-                        fed.limit, "")});
+                        fed.limit, ""),
+            bid_index});
         break;
       }
       case RoutingPolicy::kSplit: {
@@ -321,7 +324,8 @@ RoutingResult MarketRouter::Route(
           result.routed.push_back(RoutedBid{
               s, fed.team,
               Materialize(quotes[s], s, fed, part, part_limit,
-                          "#s" + std::to_string(i))});
+                          "#s" + std::to_string(i)),
+              bid_index});
         }
         break;
       }
@@ -350,7 +354,8 @@ RoutingResult MarketRouter::Route(
           result.routed.push_back(RoutedBid{
               s, fed.team,
               Materialize(quotes[s], s, fed, fed.quantity, fed.limit,
-                          "#m" + std::to_string(i))});
+                          "#m" + std::to_string(i)),
+              bid_index});
         }
         break;
       }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -51,6 +52,10 @@ struct FederatedBid {
   cluster::TaskShape quantity;   // Requested units per kind (all >= 0).
   double limit = 0.0;            // Max total payment across all parts.
   std::string home_shard;        // kHomeAffinity's preference (by name).
+  /// Telemetry trace ID stamped by FederatedExchange::SubmitFederatedBid
+  /// when the telemetry plane is on (0 = untraced). Survives supervisor
+  /// re-queues, so a rerouted bid keeps its original lifecycle trace.
+  std::uint64_t trace = 0;
 };
 
 /// The router's read-only view of one shard, snapshotted by the exchange
@@ -81,6 +86,10 @@ struct RoutedBid {
   std::size_t shard = 0;
   std::string team;
   bid::Bid bid;
+  /// Index of the originating FederatedBid in the routing input (and so
+  /// into RoutingResult::decisions) — the join key the telemetry plane
+  /// uses to map shard-level awards back to bid lifecycles.
+  std::size_t bid_index = 0;
 };
 
 /// Routing audit record for one federated bid (index-aligned with the

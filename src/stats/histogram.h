@@ -31,11 +31,36 @@ class Histogram {
   /// Fraction of in-range samples in bin i (0 if empty histogram).
   double Fraction(std::size_t bin) const;
 
+  /// Sum of every Add()ed value (under/overflow included) — Prometheus
+  /// exposition's `_sum` companion to the bucket counts.
+  double Sum() const { return sum_; }
+
+  double Lo() const { return lo_; }
+  double Hi() const { return hi_; }
+
+  /// True when `other` spans the same [lo, hi] range with the same bin
+  /// count — the precondition for Merge.
+  bool SameShape(const Histogram& other) const;
+
+  /// Folds another histogram of the same shape into this one (bin
+  /// counts, under/overflow, totals and sums all add). CHECK-fails on a
+  /// shape mismatch. Merging an empty histogram is a no-op; a
+  /// single-bucket merge adds the lone counts.
+  void Merge(const Histogram& other);
+
+  /// The q-quantile (q in [0, 1]) over every recorded sample, linearly
+  /// interpolated inside the covering bin. Mass below the range reads as
+  /// lo, mass above as hi (the histogram cannot resolve further). An
+  /// empty histogram returns lo — the deterministic "no data" answer the
+  /// metrics registry relies on.
+  double Quantile(double q) const;
+
   /// One line per bin: "[lo,hi) count ###…".
   std::string Render(int max_width) const;
 
  private:
   double lo_, hi_, width_;
+  double sum_ = 0.0;
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;

@@ -1,0 +1,72 @@
+// planetmarket: the containment flight recorder.
+//
+// A fixed-size ring buffer of recent telemetry events per shard. During
+// normal operation it just rotates; when the epoch supervisor contains a
+// shard failure (rollback to checkpoint), it dumps that shard's ring —
+// together with the failure reason, the health-machine transition, and
+// the full span chain of every traced bid that touched the shard this
+// epoch — into a retained FlightDump. "Shard 3 quarantined" becomes an
+// explainable artifact instead of a counter.
+//
+// Events carry logical time only (epoch + the tracer's global sequence
+// numbers), and recording happens in the federation's single-threaded
+// epoch sections, so dumps are byte-identical across reruns and thread
+// counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace pm::telemetry {
+
+/// One ring entry: a rendered span or a supervisor/health event.
+struct FlightEvent {
+  int epoch = 0;
+  std::uint64_t seq = 0;    // Tracer sequence (0 for non-span events).
+  std::uint64_t trace = 0;  // Owning trace (0 for shard-level events).
+  std::string line;         // Pre-rendered one-line message.
+};
+
+/// One retained containment dump.
+struct FlightDump {
+  int epoch = 0;
+  std::size_t shard = 0;
+  std::string shard_name;
+  std::string reason;      // What the shard threw.
+  std::string transition;  // "degraded -> quarantined (streak 2, …)".
+  std::string text;        // The full rendered artifact.
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is the per-shard ring size (oldest entries rotate out).
+  FlightRecorder(std::size_t num_shards, std::size_t capacity);
+
+  /// Appends an event to shard `shard`'s ring.
+  void Record(std::size_t shard, FlightEvent event);
+
+  /// Renders and retains the containment dump for a failed shard.
+  /// `chains` holds the full span chains (pre-rendered lines, one vector
+  /// per trace) of every traced bid that touched the shard this epoch.
+  const FlightDump& DumpShard(
+      std::size_t shard, const std::string& shard_name, int epoch,
+      const std::string& reason, const std::string& transition,
+      const std::vector<std::pair<std::uint64_t,
+                                  std::vector<std::string>>>& chains);
+
+  const std::deque<FlightEvent>& Ring(std::size_t shard) const;
+  const std::vector<FlightDump>& dumps() const { return dumps_; }
+
+  /// Deterministic JSON array of the retained dumps.
+  std::string DumpsJson() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::deque<FlightEvent>> rings_;
+  std::vector<FlightDump> dumps_;
+};
+
+}  // namespace pm::telemetry

@@ -1,0 +1,126 @@
+// planetmarket: the deterministic metrics registry — the scrapeable core
+// of the telemetry plane.
+//
+// Named counters, gauges and histograms, each addressed by a hierarchical
+// label set {shard, kind, phase} (any subset may be empty). Storage is an
+// ordered map over the canonical key rendering, so export order depends
+// only on WHICH metrics were touched, never on touch order — two runs
+// that record the same values emit byte-identical documents regardless of
+// insertion interleaving.
+//
+// Two export channels with different contracts:
+//
+//   ToJson() / snapshots — the DETERMINISTIC channel. Fixed-precision
+//     numbers, no wall-clock time, no host data; same contract as
+//     scenario::ScenarioMetrics::ToJson (byte-identical across reruns
+//     and thread counts). Epoch snapshots are stamped with the caller's
+//     LOGICAL clock (the federation epoch), never real time.
+//
+//   ToPrometheusText() — the exposition format for the future exchange
+//     daemon's scrape endpoint. Same deterministic values; cumulative
+//     `_bucket`/`_sum`/`_count` histogram rendering.
+//
+// Wall-clock timings (RecordTiming) are collected into a separate block
+// that ONLY renders when ToJson(/*include_timings=*/true) is explicitly
+// requested — the timing block is gated off the deterministic channel by
+// construction, so no caller can leak host time into a byte-equality
+// contract by accident.
+//
+// Thread-safety: none, by design. The federation instruments at epoch
+// barriers (single-threaded sections); concurrent shard epochs never
+// touch the registry directly. This is what keeps the channel
+// deterministic across FederationConfig::num_threads AND keeps the hot
+// paths free of synchronization.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace pm::telemetry {
+
+/// Hierarchical metric labels. Empty components are omitted from the
+/// canonical rendering.
+struct Labels {
+  std::string shard;  // Shard name ("contested") or "" for planet-wide.
+  std::string kind;   // Resource kind ("cpu") or "" when not per-kind.
+  std::string phase;  // Pipeline phase ("route", "settle", policy name).
+};
+
+/// Canonical key rendering: `name{shard="…",kind="…",phase="…"}` with
+/// empty labels omitted (bare `name` when all are empty). This string is
+/// the registry's storage key and the JSON/Prometheus identity.
+std::string RenderKey(std::string_view name, const Labels& labels);
+
+/// The registry. See the header comment for the channel contracts.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a (monotone) counter, creating it at zero.
+  void AddCounter(std::string_view name, const Labels& labels,
+                  double delta);
+
+  /// Sets a gauge to `value`, creating it.
+  void SetGauge(std::string_view name, const Labels& labels, double value);
+
+  /// Records `value` into the named histogram, creating it with the
+  /// given shape on first touch. Every label set of one name must share
+  /// one shape (CHECK-enforced) so cross-label merges are always valid.
+  void Observe(std::string_view name, const Labels& labels, double value,
+               double lo, double hi, std::size_t bins);
+
+  /// Wall-clock timing accumulation (seconds). Lives outside the
+  /// deterministic channel; see the header comment.
+  void RecordTiming(std::string_view name, double seconds);
+
+  /// Captures the current counter and gauge values as epoch `epoch`'s
+  /// snapshot — the logical-clock series of the JSON document.
+  void SnapshotEpoch(int epoch);
+
+  // ------------------------------------------------------- introspection --
+  double CounterValue(std::string_view name, const Labels& labels) const;
+  double GaugeValue(std::string_view name, const Labels& labels) const;
+  /// Null when absent.
+  const stats::Histogram* FindHistogram(std::string_view name,
+                                        const Labels& labels) const;
+  std::size_t NumCounters() const { return counters_.size(); }
+  std::size_t NumEpochs() const { return epochs_.size(); }
+
+  // ------------------------------------------------------------- exports --
+  /// Deterministic JSON document (counters, gauges, histograms with
+  /// p50/p90/p99 + cross-label merges, the epoch snapshot series). The
+  /// timing block renders only when explicitly requested.
+  std::string ToJson(bool include_timings = false) const;
+
+  /// Prometheus-style text exposition (`# TYPE` lines, label sets,
+  /// cumulative histogram buckets). Deterministic values; intended for
+  /// the exchange daemon's scrape endpoint.
+  std::string ToPrometheusText() const;
+
+ private:
+  struct HistEntry {
+    stats::Histogram hist;
+    std::string name;  // Bare metric name (for cross-label merging).
+  };
+  struct Timing {
+    long long count = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+  struct EpochSnapshot {
+    int epoch = 0;
+    std::vector<std::pair<std::string, double>> counters;  // (key, value)
+    std::vector<std::pair<std::string, double>> gauges;
+  };
+
+  std::map<std::string, double> counters_;    // key → value
+  std::map<std::string, double> gauges_;      // key → value
+  std::map<std::string, HistEntry> hists_;    // key → histogram
+  std::map<std::string, Timing> timings_;     // name → wall-clock block
+  std::vector<EpochSnapshot> epochs_;
+};
+
+}  // namespace pm::telemetry

@@ -1,0 +1,61 @@
+#include "telemetry/telemetry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pm::telemetry {
+
+Telemetry::Telemetry(TelemetryConfig config,
+                     std::vector<std::string> shard_names)
+    : config_(std::move(config)),
+      shard_names_(std::move(shard_names)),
+      recorder_(shard_names_.size(),
+                config_.flight_recorder_capacity) {
+  PM_CHECK_MSG(config_.enabled,
+               "construct Telemetry only behind the enabled gate");
+  PM_CHECK_MSG(!shard_names_.empty(), "telemetry needs shard names");
+}
+
+Span& Telemetry::EmitSpan(std::uint64_t trace, std::string name,
+                          int epoch, int shard) {
+  return tracer_.Emit(trace, std::move(name), epoch, shard);
+}
+
+void Telemetry::RecordEvent(std::size_t shard, int epoch,
+                            std::string line) {
+  if (!config_.flight_recorder) return;
+  FlightEvent event;
+  event.epoch = epoch;
+  event.line = "[e" + std::to_string(epoch) + "] " + std::move(line);
+  recorder_.Record(shard, std::move(event));
+}
+
+void Telemetry::MirrorSpan(const Span& span) {
+  if (!config_.flight_recorder || span.shard < 0) return;
+  FlightEvent event;
+  event.epoch = span.epoch;
+  event.seq = span.seq;
+  event.trace = span.trace;
+  event.line = span.Render();
+  recorder_.Record(static_cast<std::size_t>(span.shard),
+                   std::move(event));
+}
+
+std::string Telemetry::MetricsJson(bool include_timings) const {
+  return registry_.ToJson(include_timings);
+}
+
+std::string Telemetry::PrometheusText() const {
+  return registry_.ToPrometheusText();
+}
+
+std::string Telemetry::TraceJson() const {
+  std::ostringstream os;
+  os << "{\n\"spans\": " << tracer_.ToJson() << ",\n\"flight_dumps\": "
+     << recorder_.DumpsJson() << "\n}\n";
+  return os.str();
+}
+
+}  // namespace pm::telemetry

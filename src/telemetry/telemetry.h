@@ -1,0 +1,111 @@
+// planetmarket: the telemetry plane's front door.
+//
+// TelemetryConfig is the compiled gate: with `enabled == false` (the
+// default) no Telemetry object exists anywhere — the federation holds a
+// null pointer, every instrumentation site is a single pointer test, and
+// behavior plus every report/bench output is bit-identical to the
+// pre-telemetry system (asserted by tests/telemetry_test.cpp and the
+// bench_telemetry_overhead smoke).
+//
+// With the gate on, one Telemetry object per federation owns the three
+// subsystems:
+//
+//   MetricsRegistry — deterministic counters/gauges/histograms with
+//     {shard, kind, phase} labels, per-epoch logical-clock snapshots,
+//     JSON + Prometheus exporters (registry.h);
+//   BidTracer       — bid-lifecycle spans from submit to settlement or
+//     refund (trace.h);
+//   FlightRecorder  — per-shard ring of recent events, dumped by the
+//     epoch supervisor whenever it contains a shard failure
+//     (flight_recorder.h).
+//
+// All writes happen in the federation's single-threaded epoch sections
+// (the instrumentation contract of federated_exchange.cpp), so every
+// export is byte-identical across reruns and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace pm::telemetry {
+
+/// The gate plus sub-feature toggles (only read when `enabled`).
+struct TelemetryConfig {
+  /// Master gate. Off: no telemetry object is constructed, no
+  /// instrumentation site does more than one pointer comparison, and all
+  /// outputs are bit-identical to a build without the telemetry plane.
+  bool enabled = false;
+
+  /// Bid-lifecycle span emission (submit/route/auction/settle/refund).
+  bool trace_bids = true;
+
+  /// Per-shard event rings + supervisor containment dumps.
+  bool flight_recorder = true;
+
+  /// Ring capacity per shard.
+  std::size_t flight_recorder_capacity = 128;
+
+  /// Collect wall-clock epoch timings. These live OUTSIDE the
+  /// deterministic channel: they only render when a caller explicitly
+  /// asks MetricsJson(include_timings=true). Off by default so the
+  /// default telemetry document is reproducible byte for byte.
+  bool wall_clock_timings = false;
+};
+
+/// One federation's telemetry plane.
+class Telemetry {
+ public:
+  Telemetry(TelemetryConfig config, std::vector<std::string> shard_names);
+
+  const TelemetryConfig& config() const { return config_; }
+  const std::vector<std::string>& shard_names() const {
+    return shard_names_;
+  }
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  BidTracer& tracer() { return tracer_; }
+  const BidTracer& tracer() const { return tracer_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  /// Emits a span. Callers attach attributes on the returned reference,
+  /// then MirrorSpan() it into the shard ring if it should be visible to
+  /// the flight recorder.
+  Span& EmitSpan(std::uint64_t trace, std::string name, int epoch,
+                 int shard);
+
+  /// Records a shard-level (non-span) event into the shard's ring.
+  void RecordEvent(std::size_t shard, int epoch, std::string line);
+
+  /// Re-renders an already-emitted span into its shard ring — used when
+  /// attributes were attached after EmitSpan.
+  void MirrorSpan(const Span& span);
+
+  // ------------------------------------------------------------- exports --
+  /// Deterministic metrics document; the timing block renders only on
+  /// explicit request (and only holds data when wall_clock_timings).
+  std::string MetricsJson(bool include_timings = false) const;
+
+  /// Prometheus-style exposition of the registry.
+  std::string PrometheusText() const;
+
+  /// Deterministic trace document: every span plus the retained
+  /// flight-recorder dumps.
+  std::string TraceJson() const;
+
+ private:
+  TelemetryConfig config_;
+  std::vector<std::string> shard_names_;
+  MetricsRegistry registry_;
+  BidTracer tracer_;
+  FlightRecorder recorder_;
+};
+
+}  // namespace pm::telemetry

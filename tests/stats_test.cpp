@@ -170,6 +170,91 @@ TEST(HistogramTest, RenderContainsBars) {
   EXPECT_NE(out.find('#'), std::string::npos);
 }
 
+TEST(HistogramTest, SumTracksEveryAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll({0.25, 0.5, 3.0});  // Overflow still counts toward the sum.
+  EXPECT_DOUBLE_EQ(h.Sum(), 3.75);
+}
+
+TEST(HistogramTest, MergeAddsCountsAndFlows) {
+  Histogram a(0.0, 10.0, 5);
+  a.AddAll({1.0, 3.0, -1.0});
+  Histogram b(0.0, 10.0, 5);
+  b.AddAll({1.5, 99.0});
+  a.Merge(b);
+  EXPECT_EQ(a.Count(0), 2u);  // 1.0 and 1.5.
+  EXPECT_EQ(a.Count(1), 1u);  // 3.0.
+  EXPECT_EQ(a.Underflow(), 1u);
+  EXPECT_EQ(a.Overflow(), 1u);
+  EXPECT_EQ(a.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 1.0 + 3.0 - 1.0 + 1.5 + 99.0);
+}
+
+TEST(HistogramTest, MergeSingleBucket) {
+  Histogram a(0.0, 1.0, 1);
+  a.Add(0.5);
+  Histogram b(0.0, 1.0, 1);
+  b.Add(0.25);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(0), 2u);
+  EXPECT_EQ(a.TotalCount(), 2u);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoOp) {
+  Histogram a(0.0, 1.0, 4);
+  a.Add(0.5);
+  Histogram b(0.0, 1.0, 4);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.5);
+}
+
+TEST(HistogramTest, MergeShapeMismatchThrows) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram bins(0.0, 1.0, 5);
+  Histogram range(0.0, 2.0, 4);
+  EXPECT_FALSE(a.SameShape(bins));
+  EXPECT_FALSE(a.SameShape(range));
+  EXPECT_THROW(a.Merge(bins), CheckFailure);
+  EXPECT_THROW(a.Merge(range), CheckFailure);
+}
+
+TEST(HistogramTest, QuantileEmptyReturnsLo) {
+  Histogram h(2.0, 8.0, 3);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBin) {
+  // 10 samples spread uniformly across one [0, 10) bin of a 1-bin
+  // histogram: the median interpolates to the middle of the bin.
+  Histogram h(0.0, 10.0, 1);
+  for (int i = 0; i < 10; ++i) h.Add(0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileUnderOverflowClampToRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll({-5.0, 0.25, 9.0});  // One below, one in, one above.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);   // Underflow mass reads lo.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);   // Overflow mass reads hi.
+}
+
+TEST(HistogramTest, QuantileOrderedAcrossBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({1.0, 3.0, 5.0, 7.0, 9.0});
+  double prev = h.Quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.Quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_THROW(h.Quantile(-0.1), CheckFailure);
+  EXPECT_THROW(h.Quantile(1.1), CheckFailure);
+}
+
 // --------------------------------------------------------------- regression --
 
 TEST(RegressionTest, RecoversExactLine) {
