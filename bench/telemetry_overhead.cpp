@@ -2,19 +2,25 @@
 //
 //   $ ./bench_telemetry_overhead [scenario] [epochs]
 //
-// Runs one scenario twice from identical seeds — telemetry off, then
-// telemetry on — and
+// Runs one scenario three times from identical seeds — telemetry off,
+// telemetry on with the watchdog off, telemetry on with the full
+// watchdog (recording rules + alerts) — and
 //
-//   1. byte-compares the ScenarioMetrics JSON of the two runs: the off
-//      document must equal the on document exactly (instrumentation may
-//      never perturb market behavior), exiting 1 on any divergence;
-//   2. reports both wall times, so the overhead of the enabled plane
-//      (span emission, registry ingest, ring rotation — all at epoch
-//      barriers, never in auction loops) is visible in CI logs.
+//   1. byte-compares the ScenarioMetrics JSON of all three runs: every
+//      document must equal the telemetry-off baseline exactly
+//      (instrumentation may never perturb market behavior, and neither
+//      may the watchdog layered on top of it), exiting 1 on any
+//      divergence;
+//   2. checks the watchdog-off registry document carries no `derived:`
+//      series — "watchdog off" must mean bit-identical exports to the
+//      pre-watchdog plane, not just quiet alerts (exit 1 otherwise);
+//   3. reports all three wall times, so the overhead of the enabled
+//      plane (span emission, registry ingest, ring rotation) and of the
+//      watchdog on top (rule evaluation, alert state machine — all at
+//      epoch barriers, never in auction loops) is visible in CI logs.
 //
 // The bench-smoke ctest entry runs this at a tiny size; a nonzero exit
-// fails the suite, which makes "telemetry off is bit-identical" a gate,
-// not a hope.
+// fails the suite, which makes both contracts a gate, not a hope.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -23,18 +29,27 @@
 
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
 struct RunResult {
   std::string metrics_json;
+  std::string registry_json;  // Empty when telemetry is off.
   double wall_seconds = 0.0;
 };
 
-RunResult RunOnce(const std::string& scenario, int epochs,
-                  bool telemetry) {
+RunResult RunOnce(const std::string& scenario, int epochs, bool telemetry,
+                  bool watchdog) {
   pm::scenario::ScenarioSpec spec = pm::scenario::FindScenario(scenario);
   spec.federation.telemetry.enabled = telemetry;
+  spec.federation.telemetry.watchdog.recording_rules = watchdog;
+  spec.federation.telemetry.watchdog.alerts = watchdog;
+  // Alert SLO assertions render into the metrics JSON (and need the
+  // engine armed); strip them from every arm so the byte comparison is
+  // market outcomes only.
+  spec.slo.expect_alerts.clear();
+  spec.slo.forbid_alerts.clear();
   pm::scenario::RunnerConfig config;
   config.epochs = epochs;
   pm::scenario::ScenarioRunner runner(std::move(spec), config);
@@ -43,6 +58,9 @@ RunResult RunOnce(const std::string& scenario, int epochs,
   const auto stop = std::chrono::steady_clock::now();
   RunResult result;
   result.metrics_json = metrics.ToJson();
+  if (const pm::telemetry::Telemetry* t = runner.exchange().telemetry()) {
+    result.registry_json = t->MetricsJson();
+  }
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   return result;
 }
@@ -53,8 +71,12 @@ int main(int argc, char** argv) {
   const std::string scenario = argc > 1 ? argv[1] : "flash-crowd";
   const int epochs = argc > 2 ? std::atoi(argv[2]) : 4;
 
-  const RunResult off = RunOnce(scenario, epochs, /*telemetry=*/false);
-  const RunResult on = RunOnce(scenario, epochs, /*telemetry=*/true);
+  const RunResult off =
+      RunOnce(scenario, epochs, /*telemetry=*/false, /*watchdog=*/false);
+  const RunResult on =
+      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/false);
+  const RunResult watch =
+      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/true);
 
   if (off.metrics_json != on.metrics_json) {
     std::cerr << "FAIL: telemetry-on run diverged from the telemetry-off "
@@ -63,11 +85,27 @@ int main(int argc, char** argv) {
               << " epochs) — instrumentation perturbed market behavior\n";
     return 1;
   }
+  if (off.metrics_json != watch.metrics_json) {
+    std::cerr << "FAIL: watchdog-on run diverged from the telemetry-off "
+                 "baseline (scenario "
+              << scenario << ", " << epochs
+              << " epochs) — the watchdog perturbed market behavior\n";
+    return 1;
+  }
+  if (on.registry_json.find("derived:") != std::string::npos) {
+    std::cerr << "FAIL: watchdog-off registry document carries derived: "
+                 "series (scenario "
+              << scenario << ", " << epochs
+              << " epochs) — the watchdog gate leaks\n";
+    return 1;
+  }
 
   std::cout << "telemetry overhead: scenario=" << scenario
             << " epochs=" << epochs << "\n"
-            << "  off: " << off.wall_seconds << " s\n"
-            << "  on:  " << on.wall_seconds << " s\n"
-            << "  metrics JSON byte-identical: yes\n";
+            << "  off:      " << off.wall_seconds << " s\n"
+            << "  on:       " << on.wall_seconds << " s\n"
+            << "  watchdog: " << watch.wall_seconds << " s\n"
+            << "  metrics JSON byte-identical: yes\n"
+            << "  watchdog-off derived-series leak: none\n";
   return 0;
 }

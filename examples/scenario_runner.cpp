@@ -3,17 +3,24 @@
 //   $ ./example_scenario_runner --scenario shard-outage [--seed S]
 //         [--epochs E] [--threads T] [--out FILE] [--quiet]
 //         [--faults drop=P,dup=P,delay=N]
-//         [--metrics-out FILE] [--trace-out FILE] [--timings]
+//         [--metrics-out FILE] [--trace-out FILE] [--prom-out FILE]
+//         [--alerts-out FILE] [--console] [--timings]
 //   $ ./example_scenario_runner --list
 //
-// --metrics-out / --trace-out arm the federation's telemetry plane and
-// write its deterministic exports: the metrics-registry JSON document
-// and the trace document (bid-lifecycle spans + retained flight-recorder
-// dumps). Both are byte-identical for identical (scenario, seed, epochs,
-// faults) runs at any --threads. --timings additionally collects
-// wall-clock epoch timings into the metrics document's separate timing
-// block — that block is NOT deterministic, which is why it needs its own
-// opt-in. An unwritable output path exits 2.
+// --metrics-out / --trace-out / --prom-out arm the federation's
+// telemetry plane and write its deterministic exports: the
+// metrics-registry JSON document, the trace document (bid-lifecycle
+// spans + retained flight-recorder dumps), and the Prometheus text
+// exposition of the registry. --alerts-out and --console additionally
+// arm the watchdog plane (recording rules + the default alert pack):
+// the former writes the alert-timeline JSON, the latter renders the
+// per-epoch operator console (per-shard health, clearing prices,
+// spread, refund rate, firing alerts) to stdout after the run. All are
+// byte-identical for identical (scenario, seed, epochs, faults) runs at
+// any --threads. --timings additionally collects wall-clock epoch
+// timings into the metrics document's separate timing block — that
+// block is NOT deterministic, which is why it needs its own opt-in. An
+// unwritable output path exits 2.
 //
 // --faults runs every shard behind pm::net proxy nodes on a lossy wire
 // (drop/duplicate probabilities, stale-redelivery window) with the epoch
@@ -37,6 +44,7 @@
 #include "common/check.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
+#include "telemetry/console.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -45,7 +53,9 @@ int Usage() {
   std::cerr << "usage: example_scenario_runner --scenario NAME "
                "[--seed S] [--epochs E] [--threads T] [--out FILE] "
                "[--quiet] [--faults drop=P,dup=P,delay=N] "
-               "[--metrics-out FILE] [--trace-out FILE] [--timings]\n"
+               "[--metrics-out FILE] [--trace-out FILE] "
+               "[--prom-out FILE] [--alerts-out FILE] [--console] "
+               "[--timings]\n"
                "       example_scenario_runner --list\n";
   return 2;
 }
@@ -97,10 +107,13 @@ int main(int argc, char** argv) {
   std::string out;
   std::string metrics_out;
   std::string trace_out;
+  std::string prom_out;
+  std::string alerts_out;
   pm::scenario::RunnerConfig config;
   pm::net::FaultConfig faults;
   bool quiet = false;
   bool timings = false;
+  bool console = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +158,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       trace_out = v;
+    } else if (arg == "--prom-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      prom_out = v;
+    } else if (arg == "--alerts-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      alerts_out = v;
+    } else if (arg == "--console") {
+      console = true;
     } else if (arg == "--timings") {
       timings = true;
     } else if (arg == "--quiet") {
@@ -165,11 +188,18 @@ int main(int argc, char** argv) {
   }
 
   pm::scenario::ScenarioSpec spec = pm::scenario::FindScenario(name);
-  const bool want_telemetry =
-      !metrics_out.empty() || !trace_out.empty() || timings;
+  const bool want_watchdog = !alerts_out.empty() || console;
+  const bool want_telemetry = !metrics_out.empty() ||
+                              !trace_out.empty() || !prom_out.empty() ||
+                              timings || want_watchdog;
   if (want_telemetry) {
     spec.federation.telemetry.enabled = true;
-    spec.federation.telemetry.wall_clock_timings = timings;
+    spec.federation.telemetry.wall_clock_timings =
+        spec.federation.telemetry.wall_clock_timings || timings;
+  }
+  if (want_watchdog) {
+    spec.federation.telemetry.watchdog.recording_rules = true;
+    spec.federation.telemetry.watchdog.alerts = true;
   }
   if (faults.Enabled()) {
     // Lossy-wire mode: every shard clears through proxy nodes over the
@@ -222,6 +252,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       if (!quiet) std::cerr << "wrote " << trace_out << "\n";
+    }
+    if (!prom_out.empty()) {
+      if (!WriteFileOrComplain(prom_out, telemetry->PrometheusText())) {
+        return 2;
+      }
+      if (!quiet) std::cerr << "wrote " << prom_out << "\n";
+    }
+    if (!alerts_out.empty()) {
+      if (!WriteFileOrComplain(alerts_out,
+                               telemetry->AlertTimelineJson())) {
+        return 2;
+      }
+      if (!quiet) std::cerr << "wrote " << alerts_out << "\n";
+    }
+    if (console) {
+      std::cout << pm::telemetry::RenderConsole(*telemetry);
     }
   }
   if (!quiet) {

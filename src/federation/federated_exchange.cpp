@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -652,6 +653,22 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
             ToString(pools.KeyOf(static_cast<PoolId>(p)).kind));
         reg.Observe("fed_clearing_price", by_kind, r.settled_prices[p],
                     /*lo=*/0.0, /*hi=*/50.0, /*bins=*/25);
+        if (config_.telemetry.watchdog.recording_rules) {
+          // The watchdog's point-in-time price surface: the histogram
+          // above keeps the distribution, the rule engine and console
+          // need this epoch's exact price per (shard, kind).
+          reg.SetGauge("fed_clearing_price_dollars", by_kind,
+                       r.settled_prices[p]);
+        }
+      }
+      if (config_.telemetry.watchdog.recording_rules) {
+        // Awarded buy-side dollars, the refund-storm denominator.
+        // Monotone by construction (payments clamp at zero).
+        double awarded = 0.0;
+        for (const exchange::AwardRecord& a : r.awards) {
+          awarded += std::max(0.0, a.payment);
+        }
+        reg.AddCounter("fed_awarded_dollars", by_shard, awarded);
       }
       telemetry_->RecordEvent(
           k, epoch,
@@ -780,6 +797,19 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
                                        std::string(ToString(h.status));
         if (h.active && before != h.status) {
           telemetry_->RecordEvent(k, epoch, "health: " + transition);
+        }
+        if (config_.telemetry.watchdog.recording_rules) {
+          telemetry::MetricsRegistry& reg = telemetry_->registry();
+          telemetry::Labels by_shard;
+          by_shard.shard = shards_[k]->name;
+          if (h.active && before != h.status) {
+            // The health-flap counter the derived flap-rate rule reads.
+            reg.AddCounter("fed_health_transitions", by_shard, 1.0);
+          }
+          // Post-transition health for the console (encodes the
+          // ShardHealth enum value; telemetry/console.cpp decodes it).
+          reg.SetGauge("fed_shard_health", by_shard,
+                       static_cast<double>(h.status));
         }
         // Containment flight dump: the failed shard's recent ring (the
         // health event above included) plus the full span chain of every
@@ -954,6 +984,15 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
                    report.treasury.float_total);
       reg.SetGauge("fed_treasury_transfers", planet,
                    static_cast<double>(report.treasury.transfers));
+      if (config_.telemetry.watchdog.recording_rules) {
+        // |Σ accounts − (minted − burned)|: zero whenever the treasury's
+        // conservation contract holds. The watchdog's drift alert
+        // watches this; scenarios forbid it from ever firing.
+        reg.SetGauge(
+            "fed_treasury_conservation_residual_dollars", planet,
+            std::abs(treasury_->CirculatingSupply().ToDouble() -
+                     (report.treasury.minted - report.treasury.burned)));
+      }
     }
   }
 
@@ -986,6 +1025,34 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
     if (!report.migrations.empty()) {
       reg.AddCounter("fed_migrations", planet,
                      static_cast<double>(report.migrations.size()));
+    }
+
+    // Watchdog pass: recording rules write this epoch's derived gauges,
+    // then the alert engine judges them — BEFORE the snapshot below so
+    // both ride the epoch's series entry. Still single-threaded.
+    const std::vector<telemetry::AlertTransition> transitions =
+        telemetry_->EvaluateWatchdog(epoch);
+    if (telemetry_->alerts() != nullptr) {
+      report.alerts.enabled = true;
+      report.alerts.transitions = transitions.size();
+      report.alerts.firing = telemetry_->alerts()->FiringNames();
+      for (const telemetry::AlertTransition& t : transitions) {
+        // Mirror every lifecycle transition into the flight recorder:
+        // a per-shard series lands in that shard's ring, a planet-wide
+        // one in every ring (a containment dump should always explain
+        // which alarms were ringing).
+        const std::string line =
+            "alert " + t.rule + " [" + t.series + "]: " +
+            std::string(telemetry::ToString(t.from)) + " -> " +
+            std::string(telemetry::ToString(t.to));
+        const std::string shard_name =
+            telemetry::KeyLabels(t.series).shard;
+        for (std::size_t k = 0; k < shards_.size(); ++k) {
+          if (shard_name.empty() || shards_[k]->name == shard_name) {
+            telemetry_->RecordEvent(k, epoch, line);
+          }
+        }
+      }
     }
     reg.SnapshotEpoch(epoch);
     if (time_epoch) {

@@ -147,6 +147,15 @@ std::string RenderFederationSummary(const FederationReport& report) {
          << s.restored_checkpoints << '\n';
     }
   }
+  if (report.alerts.enabled) {
+    os << "alerts: " << report.alerts.transitions
+       << " transition(s), firing:";
+    if (report.alerts.firing.empty()) os << " (none)";
+    for (const std::string& name : report.alerts.firing) {
+      os << " " << name;
+    }
+    os << '\n';
+  }
   for (const ClusterMigration& migration : report.migrations) {
     os << "rebalance: cluster " << migration.cluster << " (shard "
        << migration.from_shard << ", util "

@@ -67,6 +67,15 @@ struct HealthBlock {
   std::vector<ShardHealthStatus> statuses;
 };
 
+/// The watchdog's verdict on an epoch: what the alert engine did at the
+/// T2 barrier. Zeroed and disabled unless the telemetry watchdog's alert
+/// gate is armed.
+struct AlertBlock {
+  bool enabled = false;
+  std::size_t transitions = 0;      // Lifecycle transitions this epoch.
+  std::vector<std::string> firing;  // Rule names firing after this epoch.
+};
+
 /// What the federation arbitrageur did this epoch.
 struct ArbitrageSummary {
   bool enabled = false;
@@ -141,6 +150,9 @@ struct FederationReport {
 
   /// Failure-domain audit (disabled without a supervisor).
   HealthBlock health;
+
+  /// Watchdog audit (disabled without the telemetry alert gate).
+  AlertBlock alerts;
 };
 
 /// Merges per-shard summaries and the routing audit into one report.

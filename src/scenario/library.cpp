@@ -168,6 +168,15 @@ ScenarioSpec OutageDuringPriceWar() {
   spec.slo.expect_checkpoint_restores = true;
   spec.slo.require_full_recovery = true;
   spec.slo.min_epochs = 7;
+  // Watchdog coverage: this scenario always runs with the full watchdog
+  // armed — the containment alert must fire at the crash epochs and the
+  // quarantine alert when the shard sits out; the treasury drift alert
+  // must stay silent throughout (the conservation contract under fire).
+  spec.federation.telemetry.enabled = true;
+  spec.federation.telemetry.watchdog.recording_rules = true;
+  spec.federation.telemetry.watchdog.alerts = true;
+  spec.slo.expect_alerts = {"containment", "quarantine"};
+  spec.slo.forbid_alerts = {"treasury-conservation-drift"};
   return spec;
 }
 

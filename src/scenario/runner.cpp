@@ -499,6 +499,28 @@ void ScenarioRunner::EvaluateSlos(ScenarioMetrics& metrics) const {
           "peak/base " + FormatF(peak / base, 3) + " >= " +
               FormatF(slo.min_peak_revenue_ratio, 3));
   }
+
+  // Watchdog assertions: a scenario fails on a MISSING expected alert
+  // and on a SPURIOUS forbidden one. Asserting without an armed alert
+  // engine is a spec bug — fail loudly rather than skipping silently.
+  if (!slo.expect_alerts.empty() || !slo.forbid_alerts.empty()) {
+    const telemetry::Telemetry* tel = exchange_->telemetry();
+    const telemetry::AlertEngine* alerts =
+        tel == nullptr ? nullptr : tel->alerts();
+    if (alerts == nullptr) {
+      check("alert-engine-armed", false,
+            "spec asserts alerts but telemetry.watchdog.alerts is off");
+    } else {
+      for (const std::string& name : slo.expect_alerts) {
+        check("alert-fired:" + name, alerts->EverFired(name),
+              "alert '" + name + "' must fire during the run");
+      }
+      for (const std::string& name : slo.forbid_alerts) {
+        check("alert-silent:" + name, !alerts->EverFired(name),
+              "alert '" + name + "' must never fire");
+      }
+    }
+  }
 }
 
 }  // namespace pm::scenario

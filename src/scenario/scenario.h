@@ -61,6 +61,16 @@ struct SloPolicy {
   /// The final epoch must run with zero failed and zero quarantined
   /// shards — every contained failure drained its backoff and rejoined.
   bool require_full_recovery = false;
+
+  // ------------------------------------------------------ watchdog --
+  /// Alert names (telemetry/alerts.h rule names) that MUST have fired at
+  /// least once during the run, and names that must NEVER have fired —
+  /// the scenario fails on missing or on spurious alerts. Either list
+  /// being non-empty requires the spec to arm the telemetry watchdog
+  /// (federation.telemetry.enabled + watchdog.alerts); the runner fails
+  /// the SLO loudly when the assertion has no engine to read.
+  std::vector<std::string> expect_alerts;
+  std::vector<std::string> forbid_alerts;
 };
 
 /// A complete named experiment.

@@ -1,0 +1,94 @@
+#include "telemetry/console.h"
+
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "common/table.h"
+#include "telemetry/telemetry.h"
+
+namespace pm::telemetry {
+namespace {
+
+/// Decodes the fed_shard_health gauge (the federation writes its
+/// ShardHealth enum value: 0 healthy, 1 degraded, 2 quarantined,
+/// 3 recovering — federated_exchange.cpp's watchdog block).
+std::string_view HealthName(double value) {
+  if (value == 0.0) return "healthy";
+  if (value == 1.0) return "degraded";
+  if (value == 2.0) return "quarantined";
+  if (value == 3.0) return "recovering";
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderConsole(const Telemetry& telemetry) {
+  const MetricsRegistry& reg = telemetry.registry();
+  const AlertEngine* alerts = telemetry.alerts();
+  std::ostringstream os;
+  os << "== watchdog console: " << reg.Snapshots().size()
+     << " epoch(s), " << telemetry.shard_names().size()
+     << " shard(s) ==\n";
+
+  for (std::size_t e = 0; e < reg.Snapshots().size(); ++e) {
+    const MetricsRegistry::EpochSnapshot& snap = reg.Snapshots()[e];
+    std::map<std::string, double> gauges(snap.gauges.begin(),
+                                         snap.gauges.end());
+    const auto value_of = [&gauges](const std::string& key,
+                                    int digits) -> std::string {
+      const auto it = gauges.find(key);
+      return it == gauges.end() ? "-" : FormatF(it->second, digits);
+    };
+
+    os << "epoch " << snap.epoch << "\n";
+
+    // Firing alerts (epoch-aligned with the snapshots when the alert
+    // engine evaluated every epoch).
+    os << "  alerts:";
+    if (alerts != nullptr && e < alerts->NumEvaluations()) {
+      const std::vector<std::string>& firing =
+          alerts->FiringAfterEvaluation(e);
+      if (firing.empty()) os << " (none)";
+      for (const std::string& name : firing) os << " " << name;
+    } else {
+      os << " (alert engine off)";
+    }
+    os << "\n";
+
+    // Planet row: cross-shard spread per kind plus the mean spread.
+    os << "  spread: mean="
+       << value_of(RenderKey("fed_clearing_spread", Labels{}), 6);
+    for (const auto& [key, value] : gauges) {
+      if (KeyName(key) != "derived:price_spread") continue;
+      os << " " << KeyLabels(key).kind << "=" << FormatF(value, 6);
+    }
+    os << "\n";
+
+    // One row per shard: health, refund rate, per-kind clearing prices.
+    for (const std::string& shard : telemetry.shard_names()) {
+      Labels by_shard;
+      by_shard.shard = shard;
+      os << "  shard " << shard << ": health=";
+      const auto health =
+          gauges.find(RenderKey("fed_shard_health", by_shard));
+      os << (health == gauges.end() ? "-" : HealthName(health->second));
+      os << " refund_rate="
+         << value_of(RenderKey("derived:refund_rate", by_shard), 6);
+      os << " prices:";
+      bool any_price = false;
+      for (const auto& [key, value] : gauges) {
+        if (KeyName(key) != "fed_clearing_price_dollars") continue;
+        const Labels labels = KeyLabels(key);
+        if (labels.shard != shard) continue;
+        os << " " << labels.kind << "=" << FormatF(value, 6);
+        any_price = true;
+      }
+      if (!any_price) os << " -";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pm::telemetry

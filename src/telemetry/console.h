@@ -1,0 +1,26 @@
+// planetmarket: the operator console — the watchdog plane's human face.
+//
+// Renders one deterministic per-epoch planet table from the registry's
+// epoch snapshots and the alert engine's firing history: per-shard
+// health, per-kind clearing prices, the cross-shard price spread, the
+// refund rate, and whichever alerts are firing. Everything is a registry
+// read — the console adds no state and no new determinism surface, so
+// its output is byte-identical across reruns and thread counts like
+// every other export.
+//
+// The per-shard columns come from the watchdog's extra instrumentation
+// (fed_shard_health, fed_clearing_price_dollars, derived:*), so the
+// console is only informative with watchdog.recording_rules armed;
+// missing series render as "-" rather than failing.
+#pragma once
+
+#include <string>
+
+namespace pm::telemetry {
+
+class Telemetry;
+
+/// Renders the full epoch-by-epoch console for a finished run.
+std::string RenderConsole(const Telemetry& telemetry);
+
+}  // namespace pm::telemetry

@@ -24,7 +24,7 @@ std::string QuoteJson(const std::string& s) {
 
 FlightRecorder::FlightRecorder(std::size_t num_shards,
                                std::size_t capacity)
-    : capacity_(capacity), rings_(num_shards) {
+    : capacity_(capacity), rings_(num_shards), dropped_(num_shards, 0) {
   PM_CHECK_MSG(capacity >= 1, "flight recorder needs capacity >= 1");
 }
 
@@ -32,7 +32,15 @@ void FlightRecorder::Record(std::size_t shard, FlightEvent event) {
   PM_CHECK(shard < rings_.size());
   std::deque<FlightEvent>& ring = rings_[shard];
   ring.push_back(std::move(event));
-  while (ring.size() > capacity_) ring.pop_front();
+  while (ring.size() > capacity_) {
+    ring.pop_front();
+    ++dropped_[shard];
+  }
+}
+
+std::uint64_t FlightRecorder::Dropped(std::size_t shard) const {
+  PM_CHECK(shard < dropped_.size());
+  return dropped_[shard];
 }
 
 const std::deque<FlightEvent>& FlightRecorder::Ring(
@@ -53,6 +61,7 @@ const FlightDump& FlightRecorder::DumpShard(
   dump.shard_name = shard_name;
   dump.reason = reason;
   dump.transition = transition;
+  dump.dropped_events = dropped_[shard];
 
   std::ostringstream os;
   os << "=== flight recorder: shard " << shard << " ('" << shard_name
@@ -60,7 +69,7 @@ const FlightDump& FlightRecorder::DumpShard(
   os << "reason: " << reason << "\n";
   os << "health: " << transition << "\n";
   os << "-- recent events (oldest first, ring capacity " << capacity_
-     << ") --\n";
+     << ", " << dump.dropped_events << " older events dropped) --\n";
   for (const FlightEvent& event : rings_[shard]) {
     os << event.line << "\n";
   }
@@ -88,6 +97,7 @@ std::string FlightRecorder::DumpsJson() const {
        << ", \"shard_name\": " << QuoteJson(d.shard_name)
        << ", \"reason\": " << QuoteJson(d.reason)
        << ", \"transition\": " << QuoteJson(d.transition)
+       << ", \"dropped_events\": " << d.dropped_events
        << ", \"text\": " << QuoteJson(d.text) << "}"
        << (i + 1 < dumps_.size() ? "," : "") << "\n";
   }

@@ -37,6 +37,9 @@ struct FlightDump {
   std::string shard_name;
   std::string reason;      // What the shard threw.
   std::string transition;  // "degraded -> quarantined (streak 2, …)".
+  /// Events rotated out of this shard's ring before the dump — without
+  /// it a truncated ring reads as a complete history.
+  std::uint64_t dropped_events = 0;
   std::string text;        // The full rendered artifact.
 };
 
@@ -60,12 +63,16 @@ class FlightRecorder {
   const std::deque<FlightEvent>& Ring(std::size_t shard) const;
   const std::vector<FlightDump>& dumps() const { return dumps_; }
 
+  /// Events rotated out of shard `shard`'s ring so far (ring overwrites).
+  std::uint64_t Dropped(std::size_t shard) const;
+
   /// Deterministic JSON array of the retained dumps.
   std::string DumpsJson() const;
 
  private:
   std::size_t capacity_;
   std::vector<std::deque<FlightEvent>> rings_;
+  std::vector<std::uint64_t> dropped_;  // Overwrites per shard.
   std::vector<FlightDump> dumps_;
 };
 

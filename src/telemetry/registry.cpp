@@ -26,12 +26,6 @@ std::string QuoteJson(const std::string& s) {
   return out + "\"";
 }
 
-/// The bare metric name of a canonical key ("pm_x{shard=…}" → "pm_x").
-std::string_view BareName(const std::string& key) {
-  const std::size_t brace = key.find('{');
-  return std::string_view(key).substr(
-      0, brace == std::string::npos ? key.size() : brace);
-}
 
 void AppendLabel(std::string& out, const char* label,
                  const std::string& value, bool& any) {
@@ -48,6 +42,46 @@ void AppendLabel(std::string& out, const char* label,
 }
 
 }  // namespace
+
+std::string_view KeyName(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  return std::string_view(key).substr(
+      0, brace == std::string::npos ? key.size() : brace);
+}
+
+Labels KeyLabels(const std::string& key) {
+  Labels labels;
+  std::size_t at = key.find('{');
+  if (at == std::string::npos) return labels;
+  ++at;
+  while (at < key.size() && key[at] != '}') {
+    const std::size_t eq = key.find('=', at);
+    PM_CHECK_MSG(eq != std::string::npos && eq + 1 < key.size() &&
+                     key[eq + 1] == '"',
+                 "malformed canonical key '" << key << "'");
+    const std::string label = key.substr(at, eq - at);
+    std::string value;
+    std::size_t i = eq + 2;
+    for (; i < key.size() && key[i] != '"'; ++i) {
+      if (key[i] == '\\' && i + 1 < key.size()) ++i;  // Unescape.
+      value += key[i];
+    }
+    PM_CHECK_MSG(i < key.size(), "malformed canonical key '" << key << "'");
+    if (label == "shard") {
+      labels.shard = std::move(value);
+    } else if (label == "kind") {
+      labels.kind = std::move(value);
+    } else if (label == "phase") {
+      labels.phase = std::move(value);
+    } else {
+      PM_CHECK_MSG(false, "unknown label '" << label << "' in key '" << key
+                                            << "'");
+    }
+    at = i + 1;
+    if (at < key.size() && key[at] == ',') ++at;
+  }
+  return labels;
+}
 
 std::string RenderKey(std::string_view name, const Labels& labels) {
   PM_CHECK_MSG(!name.empty(), "metric needs a name");
@@ -99,6 +133,11 @@ void MetricsRegistry::Observe(std::string_view name, const Labels& labels,
   it->second.hist.Add(value);
 }
 
+void MetricsRegistry::SetGaugeByKey(std::string key, double value) {
+  PM_CHECK_MSG(!key.empty(), "gauge key must not be empty");
+  gauges_[std::move(key)] = value;
+}
+
 void MetricsRegistry::RecordTiming(std::string_view name, double seconds) {
   Timing& t = timings_[std::string(name)];
   ++t.count;
@@ -124,6 +163,12 @@ double MetricsRegistry::GaugeValue(std::string_view name,
                                    const Labels& labels) const {
   const auto it = gauges_.find(RenderKey(name, labels));
   return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::HasSeries(std::string_view name,
+                                const Labels& labels) const {
+  const std::string key = RenderKey(name, labels);
+  return counters_.count(key) > 0 || gauges_.count(key) > 0;
 }
 
 const stats::Histogram* MetricsRegistry::FindHistogram(
@@ -239,7 +284,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
   std::string_view last_type_for;
 
   const auto type_line = [&](const std::string& key, const char* type) {
-    const std::string_view name = BareName(key);
+    const std::string_view name = KeyName(key);
     if (name != last_type_for) {
       os << "# TYPE " << name << " " << type << "\n";
       last_type_for = name;
@@ -282,7 +327,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
     }
     os << bucket_key("+Inf") << " " << h.TotalCount() << "\n";
     const std::size_t brace = key.find('{');
-    const std::string name(BareName(key));
+    const std::string name(KeyName(key));
     const std::string suffix =
         brace == std::string::npos ? "" : key.substr(brace);
     os << name << "_sum" << suffix << " " << Num(h.Sum()) << "\n";

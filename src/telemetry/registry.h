@@ -56,6 +56,14 @@ struct Labels {
 /// the registry's storage key and the JSON/Prometheus identity.
 std::string RenderKey(std::string_view name, const Labels& labels);
 
+/// The bare metric name of a canonical key (`pm_x{shard="a"}` → `pm_x`).
+std::string_view KeyName(const std::string& key);
+
+/// The inverse of RenderKey's label block: parses a canonical key's
+/// labels back out (escape-aware). The rule engine and the operator
+/// console use this to regroup series the registry stores flat.
+Labels KeyLabels(const std::string& key);
+
 /// The registry. See the header comment for the channel contracts.
 class MetricsRegistry {
  public:
@@ -72,6 +80,13 @@ class MetricsRegistry {
   void Observe(std::string_view name, const Labels& labels, double value,
                double lo, double hi, std::size_t bins);
 
+  /// Sets a gauge under an already-canonical key — the recording-rule
+  /// engine's write path: a derived series reuses its input's rendered
+  /// label block verbatim, so re-parsing it into a Labels just to
+  /// re-render it would be wasted motion. `key` must come from RenderKey
+  /// (or a RenderKey result with a `derived:` prefix).
+  void SetGaugeByKey(std::string key, double value);
+
   /// Wall-clock timing accumulation (seconds). Lives outside the
   /// deterministic channel; see the header comment.
   void RecordTiming(std::string_view name, double seconds);
@@ -83,11 +98,31 @@ class MetricsRegistry {
   // ------------------------------------------------------- introspection --
   double CounterValue(std::string_view name, const Labels& labels) const;
   double GaugeValue(std::string_view name, const Labels& labels) const;
+  /// True when the exact (name, labels) series exists as a counter or
+  /// gauge — the alert engine's absence rules need "never recorded",
+  /// which the zero-defaulting value readers cannot distinguish.
+  bool HasSeries(std::string_view name, const Labels& labels) const;
   /// Null when absent.
   const stats::Histogram* FindHistogram(std::string_view name,
                                         const Labels& labels) const;
   std::size_t NumCounters() const { return counters_.size(); }
   std::size_t NumEpochs() const { return epochs_.size(); }
+
+  /// Key-ordered read access to the live scalar maps — the watchdog
+  /// layer (rules, alerts, console) iterates these to find every label
+  /// set of a metric name.
+  const std::map<std::string, double>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  /// One epoch's captured counter/gauge values (the series channel).
+  struct EpochSnapshot {
+    int epoch = 0;
+    std::vector<std::pair<std::string, double>> counters;  // (key, value)
+    std::vector<std::pair<std::string, double>> gauges;
+  };
+  const std::vector<EpochSnapshot>& Snapshots() const { return epochs_; }
 
   // ------------------------------------------------------------- exports --
   /// Deterministic JSON document (counters, gauges, histograms with
@@ -109,11 +144,6 @@ class MetricsRegistry {
     long long count = 0;
     double total_seconds = 0.0;
     double max_seconds = 0.0;
-  };
-  struct EpochSnapshot {
-    int epoch = 0;
-    std::vector<std::pair<std::string, double>> counters;  // (key, value)
-    std::vector<std::pair<std::string, double>> gauges;
   };
 
   std::map<std::string, double> counters_;    // key → value

@@ -16,6 +16,30 @@ Telemetry::Telemetry(TelemetryConfig config,
   PM_CHECK_MSG(config_.enabled,
                "construct Telemetry only behind the enabled gate");
   PM_CHECK_MSG(!shard_names_.empty(), "telemetry needs shard names");
+  if (config_.watchdog.recording_rules) {
+    rules_ = std::make_unique<RuleEngine>(DefaultRecordingRules());
+  }
+  if (config_.watchdog.alerts) {
+    alerts_ = std::make_unique<AlertEngine>(DefaultAlertRules());
+  }
+}
+
+void Telemetry::SetRecordingRules(std::vector<RecordingRule> rules) {
+  PM_CHECK_MSG(config_.watchdog.recording_rules,
+               "arm watchdog.recording_rules before replacing the pack");
+  rules_ = std::make_unique<RuleEngine>(std::move(rules));
+}
+
+void Telemetry::SetAlertRules(std::vector<AlertRule> rules) {
+  PM_CHECK_MSG(config_.watchdog.alerts,
+               "arm watchdog.alerts before replacing the pack");
+  alerts_ = std::make_unique<AlertEngine>(std::move(rules));
+}
+
+std::vector<AlertTransition> Telemetry::EvaluateWatchdog(int epoch) {
+  if (rules_ != nullptr) rules_->EvaluateEpoch(registry_);
+  if (alerts_ != nullptr) return alerts_->EvaluateEpoch(registry_, epoch);
+  return {};
 }
 
 Span& Telemetry::EmitSpan(std::uint64_t trace, std::string name,
@@ -49,6 +73,11 @@ std::string Telemetry::MetricsJson(bool include_timings) const {
 
 std::string Telemetry::PrometheusText() const {
   return registry_.ToPrometheusText();
+}
+
+std::string Telemetry::AlertTimelineJson() const {
+  if (alerts_ == nullptr) return "{\n\"alerts\": [\n]\n}\n";
+  return alerts_->TimelineJson();
 }
 
 std::string Telemetry::TraceJson() const {

@@ -29,11 +29,33 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/alerts.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/registry.h"
+#include "telemetry/rules.h"
 #include "telemetry/trace.h"
 
 namespace pm::telemetry {
+
+/// The watchdog plane's sub-gates (only read when the telemetry master
+/// gate is on). Both default OFF: telemetry-on-watchdog-off produces a
+/// metrics/report/trace byte stream bit-identical to the pre-watchdog
+/// plane — no `derived:` series, no watchdog gauges, no alert timeline
+/// (asserted by tests/telemetry_test.cpp and bench_telemetry_overhead).
+struct WatchdogConfig {
+  /// Evaluate recording rules (rules.h) each epoch, writing `derived:`
+  /// gauges into the registry. Also arms the watchdog's extra raw
+  /// instrumentation (per-kind clearing-price gauges, awarded-dollars
+  /// counters, health gauges, the treasury conservation residual) that
+  /// the rules and the console consume.
+  bool recording_rules = false;
+
+  /// Evaluate alert rules (alerts.h) each epoch, after the recording
+  /// rules. The default alert pack watches `derived:` series, so arming
+  /// alerts without recording_rules leaves those rules with no instances
+  /// (absence/raw-threshold rules still work).
+  bool alerts = false;
+};
 
 /// The gate plus sub-feature toggles (only read when `enabled`).
 struct TelemetryConfig {
@@ -56,6 +78,10 @@ struct TelemetryConfig {
   /// asks MetricsJson(include_timings=true). Off by default so the
   /// default telemetry document is reproducible byte for byte.
   bool wall_clock_timings = false;
+
+  /// The watchdog plane (recording rules + alerts), both gates off by
+  /// default. `WatchdogConfig{true, true}` arms the shipped packs.
+  WatchdogConfig watchdog;
 };
 
 /// One federation's telemetry plane.
@@ -74,6 +100,24 @@ class Telemetry {
   const BidTracer& tracer() const { return tracer_; }
   FlightRecorder& recorder() { return recorder_; }
   const FlightRecorder& recorder() const { return recorder_; }
+  /// Null when the corresponding watchdog sub-gate is off.
+  RuleEngine* rule_engine() { return rules_.get(); }
+  const RuleEngine* rule_engine() const { return rules_.get(); }
+  AlertEngine* alerts() { return alerts_.get(); }
+  const AlertEngine* alerts() const { return alerts_.get(); }
+
+  /// Replaces the default rule/alert packs (tests, custom deployments).
+  /// Only legal when the corresponding sub-gate is armed.
+  void SetRecordingRules(std::vector<RecordingRule> rules);
+  void SetAlertRules(std::vector<AlertRule> rules);
+
+  /// Runs the watchdog for epoch `epoch`: recording rules first (derived
+  /// gauges land in the registry), then the alert pass. Call once per
+  /// epoch at the T2 barrier, BEFORE the registry's SnapshotEpoch, so
+  /// derived series ride the snapshot. Returns this epoch's alert
+  /// transitions (already in the timeline) for mirroring; empty when the
+  /// watchdog is off.
+  std::vector<AlertTransition> EvaluateWatchdog(int epoch);
 
   /// Emits a span. Callers attach attributes on the returned reference,
   /// then MirrorSpan() it into the shard ring if it should be visible to
@@ -100,12 +144,18 @@ class Telemetry {
   /// flight-recorder dumps.
   std::string TraceJson() const;
 
+  /// Deterministic alert-timeline document; `{"alerts": []}` shape even
+  /// when the alert gate is off, so sinks need no special case.
+  std::string AlertTimelineJson() const;
+
  private:
   TelemetryConfig config_;
   std::vector<std::string> shard_names_;
   MetricsRegistry registry_;
   BidTracer tracer_;
   FlightRecorder recorder_;
+  std::unique_ptr<RuleEngine> rules_;    // watchdog.recording_rules
+  std::unique_ptr<AlertEngine> alerts_;  // watchdog.alerts
 };
 
 }  // namespace pm::telemetry
