@@ -67,9 +67,11 @@ struct EpochStats {
 };
 
 std::vector<EpochStats> RunSpreadSeries(int teams_per_shard, int epochs,
-                                        bool with_arbitrage) {
+                                        bool with_arbitrage,
+                                        unsigned num_threads) {
   pm::federation::FederationConfig config;
   config.seed = 20090425;
+  config.num_threads = num_threads;
   if (with_arbitrage) {
     config.economy.treasury = true;
     config.economy.arbitrage.enabled = true;
@@ -121,15 +123,16 @@ double NonWideningFraction(const std::vector<double>& xs) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
   const int teams = argc > 1 ? std::max(4, std::atoi(argv[1])) : 40;
   const int epochs = argc > 2 ? std::max(2, std::atoi(argv[2])) : 8;
 
   std::cout << "running " << epochs << " epochs x " << teams
             << " teams/shard, baseline vs arbitrage...\n";
   const std::vector<EpochStats> base_stats =
-      RunSpreadSeries(teams, epochs, /*with_arbitrage=*/false);
+      RunSpreadSeries(teams, epochs, /*with_arbitrage=*/false, threads);
   const std::vector<EpochStats> arb_stats =
-      RunSpreadSeries(teams, epochs, /*with_arbitrage=*/true);
+      RunSpreadSeries(teams, epochs, /*with_arbitrage=*/true, threads);
   std::vector<double> baseline, arbitrage;
   for (const EpochStats& s : base_stats) baseline.push_back(s.spread);
   for (const EpochStats& s : arb_stats) arbitrage.push_back(s.spread);

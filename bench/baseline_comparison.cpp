@@ -14,12 +14,15 @@
 // high (typically >85 %) but is not pinned at 100 %.
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "auction/clock_auction.h"
 #include "auction/greedy.h"
 #include "auction/wdp_exact.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -67,7 +70,12 @@ double Ms(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   std::cout << "=== Baseline comparison: exact WDP vs clock auction vs "
                "greedy ===\n\n";
   pm::TextTable table({"users", "wdp surplus", "wdp nodes", "wdp ms",
@@ -96,6 +104,7 @@ int main() {
       pm::auction::ClockAuctionConfig config;
       config.alpha = 0.4;
       config.delta = 0.05;
+      config.thread_pool = pool.get();
       t0 = std::chrono::steady_clock::now();
       const pm::auction::ClockAuctionResult r = auction.Run(config);
       clock_ms += Ms(t0);

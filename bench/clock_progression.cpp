@@ -7,13 +7,21 @@
 // clock must climb, a mildly contested one that clears after a few
 // ticks, and a cold pool that never moves off its (discounted) reserve.
 #include <iostream>
+#include <memory>
 
 #include "auction/clock_auction.h"
 #include "common/ascii_chart.h"
 #include "common/table.h"
 #include "common/rng.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   // Pool 0: hot (demand 3x supply). Pool 1: warm (1.5x). Pool 2: cold.
   const std::vector<double> supply = {10.0, 20.0, 40.0};
   const std::vector<double> reserve = {1.8, 1.0, 0.45};
@@ -42,6 +50,7 @@ int main() {
   pm::auction::ClockAuctionConfig config;
   config.alpha = 0.3;
   config.delta = 0.05;
+  config.thread_pool = pool.get();
   config.record_trajectory = true;
   const pm::auction::ClockAuctionResult result = auction.Run(config);
 

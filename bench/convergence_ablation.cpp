@@ -16,10 +16,13 @@
 // dominate plain additive on rounds; bisection trades extra demand
 // probes for visibly lower overshoot.
 #include <iostream>
+#include <memory>
 
 #include "auction/clock_auction.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -80,7 +83,12 @@ double MeanPriceLevel(const std::vector<double>& prices,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   using Kind = pm::auction::ClockAuctionConfig::PolicyKind;
   std::cout << "=== Convergence ablation: price-update policies x "
                "bisection ===\n\n";
@@ -122,6 +130,7 @@ int main() {
       config.alpha = v.alpha;
       config.delta = v.delta;
       config.step_floor = 0.01;
+      config.thread_pool = pool.get();
       config.intra_round_bisection = bisect;
       config.max_rounds = 200000;
       if (v.kind == Kind::kCostNormalized) {

@@ -366,7 +366,7 @@ double MedianMs(const std::function<void()>& fn, int reps) {
 
 /// Direct median-of-N harness, written to BENCH_demand_engine.json so the
 /// perf trajectory has a machine-readable anchor per PR.
-void WriteJson(const char* path) {
+void WriteJson(const char* path, unsigned threads_override) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -497,11 +497,16 @@ void WriteJson(const char* path) {
   }
   std::fprintf(f, "  ],\n");
 
-  // 3. Thread scaling of full collections.
+  // 3. Thread scaling of full collections. The per-section host stamp
+  // is the machine-readable version of the top-level caveat: a consumer
+  // drops this section iff invalid_on_single_vcpu && single_vcpu_host.
   const ClockAuction big = MakeDenseMarket(20000, 100, 4, 4, 13);
+  std::fprintf(f, "  \"thread_scaling_meta\": %s,\n",
+               pm::SectionHostJson(/*needs_parallelism=*/true).c_str());
   std::fprintf(f, "  \"thread_scaling\": [\n");
-  const std::size_t thread_counts[] = {1, 2, 4, 8, 16};
-  for (std::size_t i = 0; i < 5; ++i) {
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8, 16};
+  if (threads_override > 0) thread_counts = {threads_override};
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     const std::size_t threads = thread_counts[i];
     std::unique_ptr<pm::ThreadPool> pool;
     if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
@@ -514,7 +519,7 @@ void WriteJson(const char* path) {
         },
         15);
     std::fprintf(f, "    {\"threads\": %zu, \"full_collect_ms\": %.4f}%s\n",
-                 threads, ms, i + 1 < 5 ? "," : "");
+                 threads, ms, i + 1 < thread_counts.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -527,10 +532,11 @@ void WriteJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads_override = pm::ParseThreadsFlag(&argc, argv, 0);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  WriteJson("BENCH_demand_engine.json");
+  WriteJson("BENCH_demand_engine.json", threads_override);
   return 0;
 }

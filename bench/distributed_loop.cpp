@@ -8,10 +8,13 @@
 // message count exactly (announce + reply) × nodes × rounds + terminates.
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/table.h"
 #include "net/distributed_auction.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -51,7 +54,12 @@ pm::auction::ClockAuction MakeMarket(std::uint64_t seed, int users,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   std::cout << "=== Distributed price-update loop (Figures 1 & 5) "
                "===\n\n";
   pm::TextTable table({"users", "proxy nodes", "rounds", "identical",
@@ -65,6 +73,7 @@ int main() {
         pm::auction::ClockAuctionConfig::PolicyKind::kMultiplicative;
     config.alpha = 0.4;
     config.delta = 0.08;
+    config.thread_pool = pool.get();
 
     const auto t0 = std::chrono::steady_clock::now();
     const pm::auction::ClockAuctionResult serial = market.Run(config);

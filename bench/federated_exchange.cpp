@@ -98,6 +98,7 @@ double RunEpochs(pm::federation::FederatedExchange& fed, int epochs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
   const int total_bidders = argc > 1 ? std::atoi(argv[1]) : 10000;
   const int epochs = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
   std::vector<std::size_t> shard_counts;
@@ -132,9 +133,11 @@ int main(int argc, char** argv) {
           RunEpochs(fed, epochs, &r.rounds_total, &r.all_converged);
     }
     {
+      // --threads pins the pooled run's pool size; the default keeps
+      // the historical min(shards, 8).
       pm::federation::FederatedExchange fed = BuildFederation(
           shards, per_shard, clusters,
-          /*num_threads=*/std::min<std::size_t>(shards, 8));
+          threads > 0 ? threads : std::min<std::size_t>(shards, 8));
       r.epoch_ms_pooled = RunEpochs(fed, epochs, nullptr, nullptr);
     }
     r.rounds_per_sec = static_cast<double>(r.rounds_total) / epochs /
@@ -158,7 +161,11 @@ int main(int argc, char** argv) {
   json << "  \"metadata\": {\n"
        << "    \"total_bidders\": " << total_bidders << ",\n"
        << "    \"epochs_per_config\": " << epochs << ",\n"
-       << "    \"host\": " << pm::HostMetadataJson() << "\n"
+       << "    \"host\": " << pm::HostMetadataJson() << ",\n"
+       // The pooled column is a threaded measurement: stamp it with the
+       // machine-readable single-vCPU validity flag.
+       << "    \"pooled_section_meta\": "
+       << pm::SectionHostJson(/*needs_parallelism=*/true) << "\n"
        << "  },\n";
   json << "  \"sweeps\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

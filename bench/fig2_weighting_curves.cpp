@@ -16,8 +16,14 @@
 #include "common/ascii_chart.h"
 #include "common/table.h"
 #include "reserve/weighting.h"
+#include "common/bench_meta.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (pm::ParseThreadsFlag(&argc, argv, 0) > 1) {
+    std::cerr << "note: --threads accepted for bench-interface "
+                 "uniformity; the weighting-curve sweep is pure "
+                 "math with no parallel path\n";
+  }
   using pm::reserve::WeightingFunction;
   std::vector<std::unique_ptr<WeightingFunction>> curves;
   curves.push_back(pm::reserve::MakeExp2Weighting());

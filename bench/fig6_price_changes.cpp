@@ -11,15 +11,23 @@
 #include <fstream>
 #include <iostream>
 #include <vector>
+#include <memory>
 
 #include "agents/workload_gen.h"
 #include "common/ascii_chart.h"
 #include "common/table.h"
 #include "exchange/market.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
 // Usage: fig6_price_changes [out.csv] — the optional argument also dumps
 // the series as CSV for external plotting.
 int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   pm::agents::WorkloadConfig workload;
   workload.num_clusters = 34;          // The paper's cluster count.
   workload.num_teams = 100;            // "around 100 bidders".
@@ -29,6 +37,7 @@ int main(int argc, char** argv) {
   pm::exchange::MarketConfig config;
   config.auction.alpha = 0.4;
   config.auction.delta = 0.08;
+  config.auction.thread_pool = pool.get();
   pm::exchange::Market market(&world.fleet, &world.agents,
                               world.fixed_prices, config);
 

@@ -13,6 +13,7 @@
 // migrate; the utilization spread shrinks from auction to auction.
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "agents/workload_gen.h"
 #include "common/table.h"
@@ -20,8 +21,15 @@
 #include "exchange/market.h"
 #include "sim/event_queue.h"
 #include "sim/process.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   pm::agents::WorkloadConfig workload;
   workload.num_clusters = 34;
   workload.num_teams = 100;
@@ -31,6 +39,7 @@ int main() {
   pm::exchange::MarketConfig config;
   config.auction.alpha = 0.4;
   config.auction.delta = 0.08;
+  config.auction.thread_pool = pool.get();
   pm::exchange::Market market(&world.fleet, &world.agents,
                               world.fixed_prices, config);
 

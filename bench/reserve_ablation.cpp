@@ -17,12 +17,15 @@
 // essentially untouched and accumulates shortages in hot pools.
 #include <iostream>
 #include <numeric>
+#include <memory>
 
 #include "agents/strategy.h"
 #include "agents/workload_gen.h"
 #include "auction/fixed_price.h"
 #include "common/table.h"
 #include "exchange/market.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -44,6 +47,10 @@ struct RegimeResult {
   std::size_t moves = 0;
 };
 
+// Shared auction pool for the market regimes (set from --threads in
+// main; null = serial, the default).
+pm::ThreadPool* g_auction_pool = nullptr;
+
 RegimeResult RunMarketRegime(
     const std::string& name,
     std::shared_ptr<const pm::reserve::WeightingFunction> curve) {
@@ -51,6 +58,7 @@ RegimeResult RunMarketRegime(
   pm::exchange::MarketConfig config;
   config.auction.alpha = 0.4;
   config.auction.delta = 0.08;
+  config.auction.thread_pool = g_auction_pool;
   config.weighting = std::move(curve);
   pm::exchange::Market market(&world.fleet, &world.agents,
                               world.fixed_prices, config);
@@ -73,7 +81,12 @@ RegimeResult RunMarketRegime(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+  g_auction_pool = pool.get();
   std::cout << "=== Reserve-pricing ablation: utilization dispersion "
                "across regimes ===\n\n";
 

@@ -20,6 +20,7 @@
 
 #include "auction/clock_auction.h"
 #include "common/rng.h"
+#include "common/bench_meta.h"
 #include "common/thread_pool.h"
 #include "stats/regression.h"
 
@@ -138,9 +139,15 @@ void BM_ClockAuction_PaperScale(benchmark::State& state) {
 }
 BENCHMARK(BM_ClockAuction_PaperScale)->Unit(benchmark::kMillisecond);
 
+// --threads override for the parallel-proxies sweep (0 = use the
+// registered 1/2/4 args).
+unsigned g_threads_override = 0;
+
 // Parallel proxy evaluation (line 4 fan-out across a thread pool).
 void BM_ClockAuction_ParallelProxies(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto threads = g_threads_override > 0
+                           ? static_cast<std::size_t>(g_threads_override)
+                           : static_cast<std::size_t>(state.range(0));
   const pm::auction::ClockAuction market =
       MakeMarket(800, 100, 17, /*never_clears=*/true);
   pm::ThreadPool pool(threads);
@@ -204,6 +211,7 @@ void PrintLinearityFit() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_threads_override = pm::ParseThreadsFlag(&argc, argv, 0);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 #include <vector>
+#include <algorithm>
 
 #include "common/bench_meta.h"
 #include "common/table.h"
@@ -27,8 +28,12 @@ int main(int argc, char** argv) {
       config.epochs = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.num_threads = static_cast<std::size_t>(
+          std::max(0, std::atoi(argv[++i])));
     } else {
-      std::cerr << "usage: bench_scenario_suite [--epochs E] [--seed S]\n";
+      std::cerr << "usage: bench_scenario_suite [--epochs E] [--seed S] "
+                   "[--threads T]\n";
       return 2;
     }
   }

@@ -13,12 +13,20 @@
 #include <algorithm>
 #include <iostream>
 #include <vector>
+#include <memory>
 
 #include "agents/workload_gen.h"
 #include "common/table.h"
 #include "exchange/market.h"
+#include "common/bench_meta.h"
+#include "common/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
+  // --threads: size of the shared auction pool (0/1 = serial).
+  std::unique_ptr<pm::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<pm::ThreadPool>(threads);
+
   pm::agents::WorkloadConfig workload;
   workload.num_clusters = 34;
   workload.num_teams = 100;
@@ -28,6 +36,7 @@ int main() {
   pm::exchange::MarketConfig config;
   config.auction.alpha = 0.4;
   config.auction.delta = 0.08;
+  config.auction.thread_pool = pool.get();
   pm::exchange::Market market(&world.fleet, &world.agents,
                               world.fixed_prices, config);
 

@@ -30,6 +30,7 @@
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
 #include "telemetry/telemetry.h"
+#include "common/bench_meta.h"
 
 namespace {
 
@@ -40,7 +41,7 @@ struct RunResult {
 };
 
 RunResult RunOnce(const std::string& scenario, int epochs, bool telemetry,
-                  bool watchdog) {
+                  bool watchdog, unsigned num_threads) {
   pm::scenario::ScenarioSpec spec = pm::scenario::FindScenario(scenario);
   spec.federation.telemetry.enabled = telemetry;
   spec.federation.telemetry.watchdog.recording_rules = watchdog;
@@ -51,6 +52,7 @@ RunResult RunOnce(const std::string& scenario, int epochs, bool telemetry,
   spec.slo.expect_alerts.clear();
   spec.slo.forbid_alerts.clear();
   pm::scenario::RunnerConfig config;
+  config.num_threads = num_threads;
   config.epochs = epochs;
   pm::scenario::ScenarioRunner runner(std::move(spec), config);
   const auto start = std::chrono::steady_clock::now();
@@ -68,15 +70,19 @@ RunResult RunOnce(const std::string& scenario, int epochs, bool telemetry,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads = pm::ParseThreadsFlag(&argc, argv, 0);
   const std::string scenario = argc > 1 ? argv[1] : "flash-crowd";
   const int epochs = argc > 2 ? std::atoi(argv[2]) : 4;
 
   const RunResult off =
-      RunOnce(scenario, epochs, /*telemetry=*/false, /*watchdog=*/false);
+      RunOnce(scenario, epochs, /*telemetry=*/false, /*watchdog=*/false,
+              threads);
   const RunResult on =
-      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/false);
+      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/false,
+              threads);
   const RunResult watch =
-      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/true);
+      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/true,
+              threads);
 
   if (off.metrics_json != on.metrics_json) {
     std::cerr << "FAIL: telemetry-on run diverged from the telemetry-off "

@@ -60,7 +60,8 @@ bool AllNonPositive(std::span<const double> z, double eps) {
 
 DemandEngine ClockAuction::BuildEngine(const std::vector<bid::Bid>& bids,
                                        const std::vector<double>& supply,
-                                       const std::vector<double>& reserve) {
+                                       const std::vector<double>& reserve,
+                                       DemandEngineConfig engine_config) {
   PM_CHECK_MSG(supply.size() == reserve.size(),
                "supply and reserve vectors must have equal size, got "
                    << supply.size() << " vs " << reserve.size());
@@ -71,16 +72,17 @@ DemandEngine ClockAuction::BuildEngine(const std::vector<bid::Bid>& bids,
   }
   const std::string problem = bid::ValidateBids(bids, supply.size());
   PM_CHECK_MSG(problem.empty(), "invalid bid set: " << problem);
-  return DemandEngine(bids, supply);
+  return DemandEngine(bids, supply, engine_config);
 }
 
 ClockAuction::ClockAuction(std::vector<bid::Bid> bids,
                            std::vector<double> supply,
-                           std::vector<double> reserve_prices)
+                           std::vector<double> reserve_prices,
+                           DemandEngineConfig engine_config)
     : bids_(std::move(bids)),
       supply_(std::move(supply)),
       reserve_(std::move(reserve_prices)),
-      engine_(BuildEngine(bids_, supply_, reserve_)) {}
+      engine_(BuildEngine(bids_, supply_, reserve_, engine_config)) {}
 
 ClockAuctionResult ClockAuction::Run(
     const ClockAuctionConfig& config) const {

@@ -160,8 +160,11 @@ class ClockAuction {
  public:
   /// `supply` and `reserve_prices` are dense per-pool vectors of equal
   /// size R; every bid must reference pools < R and pass ValidateBids.
+  /// `engine_config` selects the demand engine's dot kernel (kernels.h);
+  /// the default scalar kernel is bit-exact to the historical engine.
   ClockAuction(std::vector<bid::Bid> bids, std::vector<double> supply,
-               std::vector<double> reserve_prices);
+               std::vector<double> reserve_prices,
+               DemandEngineConfig engine_config = {});
 
   /// Runs Algorithm 1. Idempotent: each call restarts from the reserve
   /// prices with a fresh demand workspace.
@@ -182,7 +185,8 @@ class ClockAuction {
   /// initializer list so `engine_` can be a value member.
   static DemandEngine BuildEngine(const std::vector<bid::Bid>& bids,
                                   const std::vector<double>& supply,
-                                  const std::vector<double>& reserve);
+                                  const std::vector<double>& reserve,
+                                  DemandEngineConfig engine_config);
 
   std::vector<bid::Bid> bids_;
   std::vector<double> supply_;

@@ -9,8 +9,11 @@
 namespace pm::auction {
 
 DemandEngine::DemandEngine(std::span<const bid::Bid> bids,
-                           std::vector<double> supply)
-    : supply_(std::move(supply)) {
+                           std::vector<double> supply,
+                           DemandEngineConfig config)
+    : supply_(std::move(supply)),
+      kernel_(ResolveKernelChoice(config.kernel)),
+      dot_block_(ResolveKernel(kernel_)) {
   std::vector<std::uint32_t> all(bids.size());
   std::iota(all.begin(), all.end(), 0u);
   Compile(bids, all);
@@ -18,8 +21,11 @@ DemandEngine::DemandEngine(std::span<const bid::Bid> bids,
 
 DemandEngine::DemandEngine(std::span<const bid::Bid> bids,
                            std::span<const std::uint32_t> users,
-                           std::vector<double> supply)
-    : supply_(std::move(supply)) {
+                           std::vector<double> supply,
+                           DemandEngineConfig config)
+    : supply_(std::move(supply)),
+      kernel_(ResolveKernelChoice(config.kernel)),
+      dot_block_(ResolveKernel(kernel_)) {
   Compile(bids, users);
 }
 
@@ -244,21 +250,18 @@ void DemandEngine::FullCollect(std::span<const double> prices,
                        ? (single_block ? direct_excess
                                        : partials + blk * num_pools)
                        : nullptr;
+    const std::size_t u0 = blk * kExcessBlockBidders;
     const std::size_t u1 =
         std::min(num_users, (blk + 1) * kExcessBlockBidders);
-    for (std::size_t u = blk * kExcessBlockBidders; u < u1; ++u) {
-      const std::uint32_t b1 = bundle_begin_[u + 1];
-      for (std::uint32_t b = bundle_begin_[u]; b < b1; ++b) {
-        // Identical accumulation order to Bundle::Dot (ascending pool),
-        // so costs — and therefore decisions — are bit-identical to the
-        // BidderProxy oracle.
-        double cost = 0.0;
-        const std::uint32_t e1 = item_begin_[b + 1];
-        for (std::uint32_t e = item_begin_[b]; e < e1; ++e) {
-          cost += item_qty_[e] * price[item_pool_[e]];
-        }
-        cost_out[b] = cost;
-      }
+    // One kernel call per bidder block: all the block's bundle costs in a
+    // cache-resident burst (≤ a few thousand doubles), then the argmin +
+    // excess fold re-reads them while hot. The scalar kernel accumulates
+    // in Bundle::Dot's exact ascending-pool order, so costs — and
+    // therefore decisions — stay bit-identical to the BidderProxy oracle;
+    // the SIMD kernels match decisions and bound cost drift (kernels.h).
+    dot_block_(item_begin_.data(), item_pool_.data(), item_qty_.data(),
+               price, bundle_begin_[u0], bundle_begin_[u1], cost_out);
+    for (std::size_t u = u0; u < u1; ++u) {
       const ProxyDecision d =
           EvaluateFromCosts(static_cast<std::uint32_t>(u), cost_out);
       decisions[u] = d;
@@ -307,11 +310,12 @@ void DemandEngine::IncrementalCollect(std::span<const double> prices,
   // whole-market or shard — applies the same op sequence per bundle).
   double* cost = ws.bundle_cost.data();
   for (const std::uint32_t r : ws.touched) {
-    const double d = ws.delta[r];
-    const std::uint32_t k1 = pool_entry_begin_[r + 1];
-    for (std::uint32_t k = pool_entry_begin_[r]; k < k1; ++k) {
-      cost[pool_entry_bundle_[k]] += d * pool_entry_qty_[k];
-    }
+    // Oracle arithmetic shared with kernels.h — the one home of the
+    // multiply-add order the drift-bound argument relies on.
+    ScatterDeltaAscending(
+        ws.delta[r], pool_entry_begin_[r], pool_entry_begin_[r + 1],
+        [&](std::uint32_t k) { return pool_entry_bundle_[k]; },
+        [&](std::uint32_t k) { return pool_entry_qty_[k]; }, cost);
   }
 
   // Only bidders with a bundle touching a moved pool can change their

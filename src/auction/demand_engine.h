@@ -47,12 +47,20 @@
 // by floating-point rounding (re-associated sums), bounded far below
 // kPriceEps; decisions are compared with kPriceEps tolerance, so auction
 // outcomes are unaffected (asserted by the randomized equivalence tests).
+//
+// The full-sweep dot product dispatches through a kernel (kernels.h):
+// the default scalar kernel IS the oracle arithmetic above; the unrolled
+// and SIMD kernels trade bit-exact costs for throughput under the relaxed
+// equivalence tier (identical decisions, costs within
+// PairwiseErrorBound, per-kernel bit-determinism across reruns, thread
+// counts and shards — tests/kernels_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "auction/kernels.h"
 #include "auction/proxy.h"
 #include "bid/bid.h"
 #include "common/check.h"
@@ -143,14 +151,20 @@ class DemandEngine {
 
   /// Compiles the whole bid set. `supply` is the dense per-pool operator
   /// supply (excess = demand − supply); bids must already be validated.
-  DemandEngine(std::span<const bid::Bid> bids, std::vector<double> supply);
+  /// `config` picks the dot kernel (kernels.h); the default scalar kernel
+  /// reproduces the historical engine byte for byte.
+  DemandEngine(std::span<const bid::Bid> bids, std::vector<double> supply,
+               DemandEngineConfig config = {});
 
   /// Compiles the shard bids[users[i]]; workspace decisions are indexed by
   /// shard slot i (the caller maps slots back to user ids). Used by the
   /// distributed proxy nodes.
   DemandEngine(std::span<const bid::Bid> bids,
                std::span<const std::uint32_t> users,
-               std::vector<double> supply);
+               std::vector<double> supply, DemandEngineConfig config = {});
+
+  /// The concrete kernel this engine dispatches (kAuto already resolved).
+  Kernel kernel() const { return kernel_; }
 
   /// Evaluates all demands at `prices` into `ws`. When the workspace holds
   /// a valid cache this is incremental: only bidders touching a moved pool
@@ -213,11 +227,19 @@ class DemandEngine {
 
   std::vector<double> supply_;
 
-  // CSR arena (structure-of-arrays).
+  /// Resolved kernel choice and its block dot function (kernels.h). The
+  /// scalar kernel is the bit-exact oracle; the vectorized kernels match
+  /// decisions exactly and costs within PairwiseErrorBound.
+  Kernel kernel_ = Kernel::kScalar;
+  DotBlockFn dot_block_ = nullptr;
+
+  // CSR arena (structure-of-arrays). The item component arrays are
+  // 32-byte aligned so the vectorized kernels' loads start on register
+  // boundaries (kernels.h).
   std::vector<std::uint32_t> bundle_begin_;  // size U+1.
-  std::vector<std::uint32_t> item_begin_;    // size B+1.
-  std::vector<PoolId> item_pool_;            // size NNZ, ascending per b.
-  std::vector<double> item_qty_;             // size NNZ.
+  AlignedVector<std::uint32_t> item_begin_;  // size B+1.
+  AlignedVector<PoolId> item_pool_;          // size NNZ, ascending per b.
+  AlignedVector<double> item_qty_;           // size NNZ.
   std::vector<double> bundle_limit_;         // size B.
   std::vector<std::uint8_t> vector_pi_;      // size U.
 

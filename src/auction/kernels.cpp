@@ -1,0 +1,178 @@
+#include "auction/kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>  // SSE2: baseline on x86-64, no special flags.
+#define PM_KERNELS_X86 1
+#else
+#define PM_KERNELS_X86 0
+#endif
+
+namespace pm::auction {
+
+// Defined in kernels_avx2.cpp (the only -mavx2 TU); returns nullptr when
+// that TU was built without AVX2 codegen support.
+DotBlockFn Avx2DotBlockFn();
+
+namespace {
+
+void ScalarDotBlock(const std::uint32_t* item_begin, const PoolId* item_pool,
+                    const double* item_qty, const double* price,
+                    std::uint32_t b0, std::uint32_t b1, double* cost_out) {
+  for (std::uint32_t b = b0; b < b1; ++b) {
+    const std::uint32_t e0 = item_begin[b];
+    // The oracle order: identical accumulation to Bundle::Dot (ascending
+    // pool), so costs — and therefore decisions — are bit-identical to
+    // the BidderProxy oracle.
+    cost_out[b] = DotAscending(
+        item_begin[b + 1] - e0, [&](std::size_t e) { return item_pool[e0 + e]; },
+        [&](std::size_t e) { return item_qty[e0 + e]; }, price);
+  }
+}
+
+// Four scalar accumulators over a strided schedule, combined pairwise in
+// a fixed order — the reduction every SIMD lane-fold below mirrors, and
+// the model case for PairwiseErrorBound. Still straight-line serial code:
+// rerun-deterministic by construction.
+void UnrolledDotBlock(const std::uint32_t* item_begin,
+                      const PoolId* item_pool, const double* item_qty,
+                      const double* price, std::uint32_t b0, std::uint32_t b1,
+                      double* cost_out) {
+  for (std::uint32_t b = b0; b < b1; ++b) {
+    const std::uint32_t e0 = item_begin[b];
+    const std::uint32_t n = item_begin[b + 1] - e0;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::uint32_t e = 0;
+    for (; e + 4 <= n; e += 4) {
+      a0 += item_qty[e0 + e + 0] * price[item_pool[e0 + e + 0]];
+      a1 += item_qty[e0 + e + 1] * price[item_pool[e0 + e + 1]];
+      a2 += item_qty[e0 + e + 2] * price[item_pool[e0 + e + 2]];
+      a3 += item_qty[e0 + e + 3] * price[item_pool[e0 + e + 3]];
+    }
+    double tail = 0.0;
+    for (; e < n; ++e) {
+      tail += item_qty[e0 + e] * price[item_pool[e0 + e]];
+    }
+    cost_out[b] = ((a0 + a1) + (a2 + a3)) + tail;
+  }
+}
+
+#if PM_KERNELS_X86
+
+// 2-wide SSE2 with an emulated gather (two scalar price loads packed per
+// vector). Two vector accumulators (4 elements per iteration); lanes fold
+// in a fixed order, so the kernel is deterministic.
+void Sse2DotBlock(const std::uint32_t* item_begin, const PoolId* item_pool,
+                  const double* item_qty, const double* price,
+                  std::uint32_t b0, std::uint32_t b1, double* cost_out) {
+  for (std::uint32_t b = b0; b < b1; ++b) {
+    const std::uint32_t e0 = item_begin[b];
+    const std::uint32_t n = item_begin[b + 1] - e0;
+    __m128d v0 = _mm_setzero_pd();
+    __m128d v1 = _mm_setzero_pd();
+    std::uint32_t e = 0;
+    for (; e + 4 <= n; e += 4) {
+      const __m128d q0 = _mm_loadu_pd(item_qty + e0 + e);
+      const __m128d q1 = _mm_loadu_pd(item_qty + e0 + e + 2);
+      const __m128d p0 = _mm_set_pd(price[item_pool[e0 + e + 1]],
+                                    price[item_pool[e0 + e + 0]]);
+      const __m128d p1 = _mm_set_pd(price[item_pool[e0 + e + 3]],
+                                    price[item_pool[e0 + e + 2]]);
+      v0 = _mm_add_pd(v0, _mm_mul_pd(q0, p0));
+      v1 = _mm_add_pd(v1, _mm_mul_pd(q1, p1));
+    }
+    // Lane fold in fixed order: (v0.lo + v0.hi) + (v1.lo + v1.hi).
+    alignas(16) double lanes0[2], lanes1[2];
+    _mm_store_pd(lanes0, v0);
+    _mm_store_pd(lanes1, v1);
+    double tail = 0.0;
+    for (; e < n; ++e) {
+      tail += item_qty[e0 + e] * price[item_pool[e0 + e]];
+    }
+    cost_out[b] = ((lanes0[0] + lanes0[1]) + (lanes1[0] + lanes1[1])) + tail;
+  }
+}
+
+bool CpuHasSse2() { return true; }  // Baseline on x86-64.
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool CpuHasSse2() { return false; }
+bool CpuHasAvx2() { return false; }
+
+#endif  // PM_KERNELS_X86
+
+}  // namespace
+
+Kernel ResolveKernelChoice(Kernel k) {
+  if (k != Kernel::kAuto) {
+    const std::vector<Kernel> usable = CompiledKernels();
+    PM_CHECK_MSG(std::find(usable.begin(), usable.end(), k) != usable.end(),
+                 "kernel " << ToString(k)
+                           << " not compiled in or not supported by this CPU");
+    return k;
+  }
+  const std::vector<Kernel> usable = CompiledKernels();
+  return usable.back();  // Widest last.
+}
+
+DotBlockFn ResolveKernel(Kernel k) {
+  switch (ResolveKernelChoice(k)) {
+    case Kernel::kScalar:
+      return &ScalarDotBlock;
+    case Kernel::kUnrolled:
+      return &UnrolledDotBlock;
+#if PM_KERNELS_X86
+    case Kernel::kSse2:
+      return &Sse2DotBlock;
+#endif
+    case Kernel::kAvx2: {
+      DotBlockFn fn = Avx2DotBlockFn();
+      PM_CHECK_MSG(fn != nullptr, "AVX2 kernel missing from this build");
+      return fn;
+    }
+    default:
+      PM_CHECK_MSG(false, "unreachable kernel choice");
+      return &ScalarDotBlock;
+  }
+}
+
+std::vector<Kernel> CompiledKernels() {
+  std::vector<Kernel> out{Kernel::kScalar, Kernel::kUnrolled};
+  if (CpuHasSse2()) out.push_back(Kernel::kSse2);
+  if (CpuHasAvx2() && Avx2DotBlockFn() != nullptr) {
+    out.push_back(Kernel::kAvx2);
+  }
+  return out;
+}
+
+const char* ToString(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kUnrolled:
+      return "unrolled";
+    case Kernel::kSse2:
+      return "sse2";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+std::optional<Kernel> ParseKernel(std::string_view name) {
+  if (name == "scalar") return Kernel::kScalar;
+  if (name == "unrolled") return Kernel::kUnrolled;
+  if (name == "sse2") return Kernel::kSse2;
+  if (name == "avx2") return Kernel::kAvx2;
+  if (name == "auto") return Kernel::kAuto;
+  return std::nullopt;
+}
+
+}  // namespace pm::auction

@@ -1,0 +1,79 @@
+// The only translation unit compiled with -mavx2 (see CMakeLists.txt):
+// isolating the AVX2 kernel here keeps vector instructions out of every
+// other object file, so the rest of the binary runs on any x86-64 — the
+// dispatcher in kernels.cpp only hands this kernel out after
+// __builtin_cpu_supports("avx2") says the host can execute it.
+#include "auction/kernels.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__)
+#include <immintrin.h>
+#define PM_HAVE_AVX2_TU 1
+#else
+#define PM_HAVE_AVX2_TU 0
+#endif
+
+namespace pm::auction {
+
+#if PM_HAVE_AVX2_TU
+
+namespace {
+
+// 4-wide AVX2 with hardware gathers (PoolId is uint32_t, so one __m128i
+// of indices feeds _mm256_i32gather_pd). Two vector accumulators — eight
+// elements per iteration — folded in a fixed lane order; explicit
+// mul+add, never FMA, so the rounding schedule is the same whether or not
+// the compiler could fuse. Deterministic: straight-line serial code with
+// one fixed reduction order.
+void Avx2DotBlock(const std::uint32_t* item_begin, const PoolId* item_pool,
+                  const double* item_qty, const double* price,
+                  std::uint32_t b0, std::uint32_t b1, double* cost_out) {
+  for (std::uint32_t b = b0; b < b1; ++b) {
+    const std::uint32_t e0 = item_begin[b];
+    const std::uint32_t n = item_begin[b + 1] - e0;
+    __m256d v0 = _mm256_setzero_pd();
+    __m256d v1 = _mm256_setzero_pd();
+    std::uint32_t e = 0;
+    for (; e + 8 <= n; e += 8) {
+      const __m128i i0 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(item_pool + e0 + e));
+      const __m128i i1 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(item_pool + e0 + e + 4));
+      const __m256d p0 = _mm256_i32gather_pd(price, i0, 8);
+      const __m256d p1 = _mm256_i32gather_pd(price, i1, 8);
+      const __m256d q0 = _mm256_loadu_pd(item_qty + e0 + e);
+      const __m256d q1 = _mm256_loadu_pd(item_qty + e0 + e + 4);
+      v0 = _mm256_add_pd(v0, _mm256_mul_pd(q0, p0));
+      v1 = _mm256_add_pd(v1, _mm256_mul_pd(q1, p1));
+    }
+    if (e + 4 <= n) {
+      const __m128i i0 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(item_pool + e0 + e));
+      const __m256d p0 = _mm256_i32gather_pd(price, i0, 8);
+      const __m256d q0 = _mm256_loadu_pd(item_qty + e0 + e);
+      v0 = _mm256_add_pd(v0, _mm256_mul_pd(q0, p0));
+      e += 4;
+    }
+    alignas(32) double lanes0[4], lanes1[4];
+    _mm256_store_pd(lanes0, v0);
+    _mm256_store_pd(lanes1, v1);
+    double tail = 0.0;
+    for (; e < n; ++e) {
+      tail += item_qty[e0 + e] * price[item_pool[e0 + e]];
+    }
+    cost_out[b] = (((lanes0[0] + lanes0[1]) + (lanes0[2] + lanes0[3])) +
+                   ((lanes1[0] + lanes1[1]) + (lanes1[2] + lanes1[3]))) +
+                  tail;
+  }
+}
+
+}  // namespace
+
+DotBlockFn Avx2DotBlockFn() { return &Avx2DotBlock; }
+
+#else
+
+DotBlockFn Avx2DotBlockFn() { return nullptr; }
+
+#endif  // PM_HAVE_AVX2_TU
+
+}  // namespace pm::auction

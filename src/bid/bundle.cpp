@@ -4,6 +4,12 @@
 #include <cmath>
 #include <sstream>
 
+// Header-only use of the demand engine's kernel header: DotAscending is
+// the one home of the ascending-pool multiply-add order every dot in the
+// system shares (bundles here, the arena sweep in auction/demand_engine).
+// No pm_auction symbols are referenced, so the bid library's link graph
+// is unchanged.
+#include "auction/kernels.h"
 #include "common/check.h"
 
 namespace pm::bid {
@@ -45,15 +51,16 @@ double Bundle::QuantityOf(PoolId pool) const {
 }
 
 double Bundle::Dot(std::span<const double> prices) const {
-  double cost = 0.0;
-  for (const BundleItem& item : items_) {
-    PM_CHECK_MSG(item.pool < prices.size(),
-                 "bundle references pool " << item.pool
-                                           << " beyond price vector of size "
-                                           << prices.size());
-    cost += item.qty * prices[item.pool];
-  }
-  return cost;
+  return auction::DotAscending(
+      items_.size(),
+      [&](std::size_t e) {
+        PM_CHECK_MSG(items_[e].pool < prices.size(),
+                     "bundle references pool "
+                         << items_[e].pool << " beyond price vector of size "
+                         << prices.size());
+        return items_[e].pool;
+      },
+      [&](std::size_t e) { return items_[e].qty; }, prices.data());
 }
 
 PoolId Bundle::MinVectorSize() const {

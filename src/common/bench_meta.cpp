@@ -1,6 +1,8 @@
 #include "common/bench_meta.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <sstream>
 #include <thread>
@@ -67,6 +69,41 @@ std::string HostMetadataJson(const HostMetadata& meta) {
 
 std::string HostMetadataJson() {
   return HostMetadataJson(CollectHostMetadata());
+}
+
+unsigned ParseThreadsFlag(int* argc, char** argv, unsigned fallback) {
+  unsigned threads = fallback;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < *argc) {
+      threads = static_cast<unsigned>(
+          std::max(0, std::atoi(argv[++i])));
+      continue;  // Consumed the flag and its value.
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::max(0, std::atoi(arg.c_str() + 10)));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return threads;
+}
+
+std::string SectionHostJson(const HostMetadata& meta,
+                            bool needs_parallelism) {
+  std::ostringstream os;
+  os << "{\"invalid_on_single_vcpu\": "
+     << (needs_parallelism ? "true" : "false")
+     << ", \"single_vcpu_host\": " << (meta.single_vcpu ? "true" : "false")
+     << ", \"hardware_concurrency\": " << meta.hardware_concurrency << "}";
+  return os.str();
+}
+
+std::string SectionHostJson(bool needs_parallelism) {
+  return SectionHostJson(CollectHostMetadata(), needs_parallelism);
 }
 
 }  // namespace pm

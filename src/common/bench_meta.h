@@ -22,6 +22,29 @@ struct HostMetadata {
 
 HostMetadata CollectHostMetadata();
 
+/// Strips a `--threads N` / `--threads=N` override out of argv — before
+/// any positional or benchmark-library parsing sees it — and returns the
+/// requested count, or `fallback` when the flag is absent. Every bench
+/// binary accepts the flag so a multi-core host can pin its pool sizes
+/// without editing per-bench positional conventions. A parsed value of 0
+/// means "serial" (no pool), matching the configs' num_threads = 0.
+unsigned ParseThreadsFlag(int* argc, char** argv, unsigned fallback);
+
+/// Per-section host stamp for bench sections whose numbers are only
+/// meaningful on real parallel hardware (thread scaling, pipelined
+/// overlap). Unlike the top-level host caveat string, the flag is
+/// explicit and machine-readable:
+///   {"invalid_on_single_vcpu": true, "single_vcpu_host": false,
+///    "hardware_concurrency": 8}
+/// `invalid_on_single_vcpu` declares the section's requirement;
+/// `single_vcpu_host` records what this run actually measured, so a
+/// consumer drops the section iff both are true.
+std::string SectionHostJson(const HostMetadata& meta,
+                            bool needs_parallelism);
+
+/// Convenience: SectionHostJson over CollectHostMetadata().
+std::string SectionHostJson(bool needs_parallelism);
+
 /// Renders the metadata as a JSON object (no trailing newline), e.g.
 ///   {"hardware_concurrency": 8, "single_vcpu": false,
 ///    "git_sha": "6e09b72", "timestamp_utc": "…"}

@@ -91,6 +91,13 @@ void Market::SubmitExternalBid(ExternalBid bid) {
   external_.push_back(std::move(bid));
 }
 
+void Market::SubmitExternalBids(std::vector<ExternalBid> bids) {
+  external_.reserve(external_.size() + bids.size());
+  for (ExternalBid& bid : bids) {
+    SubmitExternalBid(std::move(bid));
+  }
+}
+
 void Market::EndowTeam(const std::string& team, Money amount,
                        std::string memo) {
   accounts_.Endow(team, amount, std::move(memo));
@@ -231,7 +238,8 @@ std::vector<double> Market::ComputePreliminaryPrices(
   std::vector<double> supply = fleet_->FreeVector();
   for (double& s : supply) s *= config_.supply_fraction;
   auction::ClockAuction auction(std::move(bids), std::move(supply),
-                                CurrentReservePrices());
+                                CurrentReservePrices(),
+                                config_.demand_engine);
   return auction.Run(config_.auction).prices;
 }
 
@@ -264,7 +272,8 @@ AuctionReport Market::RunAuction() {
   report.external_rejections = std::move(collected.external_rejections);
 
   auction::ClockAuction auction(collected.bids, supply,
-                                report.reserve_prices);
+                                report.reserve_prices,
+                                config_.demand_engine);
   auction::ClockAuctionResult result;
   if (config_.distributed_proxy_nodes > 0) {
     // Wire path: the same mechanism behind pm::net proxy nodes.

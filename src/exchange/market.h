@@ -45,6 +45,15 @@ struct MarketConfig {
   /// Clock-auction tuning for each round.
   auction::ClockAuctionConfig auction = DefaultMarketAuctionConfig();
 
+  /// Demand-engine kernel selection (auction/kernels.h). The default
+  /// scalar kernel reproduces the historical engine bit for bit; the
+  /// vectorized kernels keep decisions identical and bound price drift
+  /// (the relaxed-equivalence tier). Applies to the in-process serial
+  /// engine and preliminary-price ticks; the distributed proxy path
+  /// always runs the scalar oracle, which the serial==distributed
+  /// bit-identity contract relies on.
+  auction::DemandEngineConfig demand_engine;
+
   /// Congestion weighting for reserve prices (defaults to φ1 = exp2, the
   /// steepest of the paper's example curves).
   std::shared_ptr<const reserve::WeightingFunction> weighting;
@@ -132,6 +141,12 @@ class Market {
     bid::Bid bid;
   };
   void SubmitExternalBid(ExternalBid bid);
+
+  /// Batch gate: queues a whole per-shard routing batch in one call,
+  /// preserving vector order (equivalent to SubmitExternalBid per entry,
+  /// minus the per-call overhead — the federation router submits each
+  /// shard's epoch batch through this).
+  void SubmitExternalBids(std::vector<ExternalBid> bids);
 
   /// Number of external bids currently queued for the next auction.
   std::size_t PendingExternalBids() const { return external_.size(); }

@@ -1,8 +1,13 @@
 #include "federation/federated_exchange.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
@@ -322,6 +327,403 @@ FederationReport FederatedExchange::RunEpoch() {
   return RunEpochInternal(epoch);
 }
 
+void FederatedExchange::RunEpochs(const int n) {
+  PM_CHECK_MSG(n >= 0, "RunEpochs needs a non-negative epoch count");
+  if (n > 1 && CanPipeline()) {
+    RunEpochsPipelined(n);
+    return;
+  }
+  for (int i = 0; i < n; ++i) RunEpoch();
+}
+
+bool FederatedExchange::CanPipeline() const {
+  if (!config_.pipelined || pool_ == nullptr) return false;
+  // Every epoch-barrier phase that writes shard state (or reads state the
+  // overlapped auctions mutate) forces the serial loop: supervision
+  // (checkpoints + restores), the treasury (endowments + sweeps),
+  // arbitrage (external bids), the rebalancer (cluster migrations), a
+  // routing pass (external bids), and fault injection (the pipelined
+  // shard task skips the injection checks).
+  if (config_.supervisor.enabled) return false;
+  if (treasury_ != nullptr || arbitrage_ != nullptr ||
+      rebalancer_ != nullptr) {
+    return false;
+  }
+  if (!pending_.empty()) return false;
+  // Wall-clock epoch timing brackets the whole serial epoch; there is no
+  // faithful equivalent once collections overlap barriers.
+  if (telemetry_ != nullptr && config_.telemetry.wall_clock_timings) {
+    return false;
+  }
+  for (const char f : inject_fail_) {
+    if (f != 0) return false;
+  }
+  for (const int b : inject_round_budget_) {
+    if (b >= 0) return false;
+  }
+  return true;
+}
+
+void FederatedExchange::RunEpochsPipelined(const int n) {
+  const int e0 = EpochCount();
+  const int e_end = e0 + n;
+
+  // Captured once: pool registries are append-only and total capacities
+  // only change under migrations, which CanPipeline() excludes — so the
+  // barrier's clearing-spread pass never reads live shard state.
+  std::vector<const PoolRegistry*> registries;
+  std::vector<std::vector<double>> capacities;
+  registries.reserve(shards_.size());
+  capacities.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    registries.push_back(&shard->world.fleet.registry());
+    capacities.push_back(shard->world.fleet.CapacityVector());
+  }
+
+  // Double-buffered per-shard summaries, keyed by epoch parity. A shard
+  // task for epoch e writes buffers[e & 1][k]; the barrier for epoch e
+  // swaps that whole vector out under the lock. Reusing a parity slot
+  // for epoch e + 2 is safe because the scheduling window below only
+  // admits epoch e + 2 after barrier e has committed (barrier_done >= e),
+  // i.e. after the slot was swapped out.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::array<std::vector<ShardEpochSummary>, 2> buffers;
+  for (std::vector<ShardEpochSummary>& buffer : buffers) {
+    buffer.resize(shards_.size());
+  }
+  std::vector<int> done_epoch(shards_.size(), e0 - 1);
+  std::vector<int> next_epoch(shards_.size(), e0);
+  std::vector<char> parked(shards_.size(), 0);
+  int barrier_done = e0 - 1;
+  int running = 0;
+  std::exception_ptr first_error;
+
+  // One in-flight task per shard, repost-scheduled: a task clears ONE
+  // epoch for ONE shard and never blocks, so the pipeline cannot
+  // deadlock however few worker threads the pool has. When a shard runs
+  // out of window (epoch e + 3 before barrier e + 1 commits) it parks;
+  // the barrier unparks it. Every notify happens while holding the
+  // mutex, so the main thread cannot observe the final state change,
+  // return, and destroy `cv` while a task is still about to signal it.
+  std::function<void(std::size_t, int)> collect =
+      [&](const std::size_t k, const int e) {
+        try {
+          ShardEpochSummary summary;
+          summary.shard = k;
+          summary.name = shards_[k]->name;
+          summary.report = shards_[k]->market->RunAuction();
+          std::lock_guard<std::mutex> lock(mu);
+          buffers[e & 1][k] = std::move(summary);
+          done_epoch[k] = e;
+          const int next = e + 1;
+          next_epoch[k] = next;
+          if (first_error == nullptr && next < e_end &&
+              next <= barrier_done + 2) {
+            pool_->Post([&collect, k, next] { collect(k, next); });
+          } else {
+            parked[k] = 1;
+            --running;
+          }
+          cv.notify_all();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+          parked[k] = 1;
+          --running;
+          cv.notify_all();
+        }
+      };
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      ++running;
+      pool_->Post([&collect, k, e0] { collect(k, e0); });
+    }
+  }
+
+  const RoutingResult no_routing;
+  const std::vector<std::uint64_t> no_traces;
+  for (int e = e0; e < e_end; ++e) {
+    const auto all_done = [&] {
+      for (const int d : done_epoch) {
+        if (d < e) return false;
+      }
+      return true;
+    };
+    std::vector<ShardEpochSummary> summaries(shards_.size());
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        return all_done() || (first_error != nullptr && running == 0);
+      });
+      // A failed shard never finishes epoch e, but epochs every shard
+      // completed before the failure still commit — exactly the prefix
+      // the serial loop would have committed before rethrowing.
+      if (!all_done()) break;
+      buffers[e & 1].swap(summaries);
+    }
+
+    // The epoch barrier: single-threaded settlement + telemetry for
+    // epoch e, byte-identical to the serial RunEpochInternal tail for a
+    // pipeline-eligible configuration, while shard collections for
+    // epochs e + 1 / e + 2 already run on the pool.
+    IngestShardTelemetry(e, summaries, no_routing, no_traces);
+    FederationReport report =
+        BuildFederationReport(e, std::move(summaries), RoutingResult{});
+    report.health = HealthBlock{};
+    report.clearing_spread =
+        ComputeClearingSpread(report, registries, capacities);
+    CloseEpochTelemetry(e, report, /*time_epoch=*/false, {});
+    history_.push_back(std::move(report));
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      barrier_done = e;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (parked[k] != 0 && first_error == nullptr &&
+            next_epoch[k] < e_end && next_epoch[k] <= barrier_done + 2) {
+          parked[k] = 0;
+          ++running;
+          const int next = next_epoch[k];
+          pool_->Post([&collect, k, next] { collect(k, next); });
+        }
+      }
+    }
+  }
+
+  // Drain before `collect`, `cv`, and the buffers leave scope; rethrow
+  // the first shard failure exactly like the serial unsupervised loop.
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return running == 0; });
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void FederatedExchange::IngestShardTelemetry(
+    const int epoch, const std::vector<ShardEpochSummary>& summaries,
+    const RoutingResult& routing,
+    const std::vector<std::uint64_t>& epoch_traces) {
+  if (telemetry_ == nullptr) return;
+  telemetry::MetricsRegistry& reg = telemetry_->registry();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const ShardEpochSummary& s = summaries[k];
+    telemetry::Labels by_shard;
+    by_shard.shard = shards_[k]->name;
+    if (!s.participated) {
+      telemetry_->RecordEvent(k, epoch, "quarantined: sat the epoch out");
+      continue;
+    }
+    if (s.failed) {
+      reg.AddCounter("fed_shard_failures", by_shard, 1.0);
+      telemetry_->RecordEvent(k, epoch, "auction crashed: " + s.failure);
+      continue;
+    }
+    const exchange::AuctionReport& r = s.report;
+    // Hot-path counters surfaced through the report chain (DemandEngine
+    // workspace → ClockAuctionResult → AuctionReport) — nothing here
+    // ever executed inside the auction loops.
+    reg.AddCounter("fed_auction_rounds", by_shard,
+                   static_cast<double>(r.rounds));
+    reg.AddCounter("fed_demand_evaluations", by_shard,
+                   static_cast<double>(r.demand_evaluations));
+    reg.AddCounter("fed_proxies_reevaluated", by_shard,
+                   static_cast<double>(r.proxies_reevaluated));
+    reg.AddCounter("fed_bisection_probes", by_shard,
+                   static_cast<double>(r.bisection_probes));
+    {
+      telemetry::Labels by_phase = by_shard;
+      by_phase.phase = "full";
+      reg.AddCounter("fed_engine_collections", by_phase,
+                     static_cast<double>(r.full_collections));
+      by_phase.phase = "incremental";
+      reg.AddCounter("fed_engine_collections", by_phase,
+                     static_cast<double>(r.incremental_collections));
+    }
+    reg.AddCounter("fed_bids_seen", by_shard,
+                   static_cast<double>(r.num_bids));
+    reg.AddCounter("fed_winners", by_shard,
+                   static_cast<double>(r.num_winners));
+    reg.AddCounter("fed_external_rejections", by_shard,
+                   static_cast<double>(r.external_rejected));
+    // Revenue is a net flow (sell-side payouts can push it negative in
+    // an epoch), so it is a per-epoch gauge, not a monotone counter;
+    // the snapshot series carries its history.
+    reg.SetGauge("fed_operator_revenue_dollars", by_shard,
+                 r.operator_revenue);
+    reg.AddCounter("fed_placement_failures", by_shard,
+                   static_cast<double>(r.placement_failures));
+    reg.AddCounter("fed_partial_placements", by_shard,
+                   static_cast<double>(r.partial_placements));
+    reg.AddCounter("fed_refund_dollars", by_shard, r.refund_total);
+    reg.AddCounter("fed_move_billing_dollars", by_shard,
+                   r.move_billing_total);
+    reg.AddCounter("fed_jobs_added", by_shard,
+                   static_cast<double>(r.jobs_added));
+    reg.AddCounter("fed_jobs_removed", by_shard,
+                   static_cast<double>(r.jobs_removed));
+    reg.AddCounter("fed_transport_messages", by_shard,
+                   static_cast<double>(r.transport_messages));
+    reg.AddCounter("fed_transport_bytes", by_shard,
+                   static_cast<double>(r.transport_bytes));
+    reg.SetGauge("fed_utilization_spread", by_shard,
+                 exchange::UtilizationSpread(r.post_utilization));
+    reg.SetGauge("fed_rounds_last_epoch", by_shard,
+                 static_cast<double>(r.rounds));
+    const PoolRegistry& pools = shards_[k]->world.fleet.registry();
+    for (std::size_t p = 0; p < r.settled_prices.size(); ++p) {
+      telemetry::Labels by_kind = by_shard;
+      by_kind.kind = std::string(
+          ToString(pools.KeyOf(static_cast<PoolId>(p)).kind));
+      reg.Observe("fed_clearing_price", by_kind, r.settled_prices[p],
+                  /*lo=*/0.0, /*hi=*/50.0, /*bins=*/25);
+      if (config_.telemetry.watchdog.recording_rules) {
+        // The watchdog's point-in-time price surface: the histogram
+        // above keeps the distribution, the rule engine and console
+        // need this epoch's exact price per (shard, kind).
+        reg.SetGauge("fed_clearing_price_dollars", by_kind,
+                     r.settled_prices[p]);
+      }
+    }
+    if (config_.telemetry.watchdog.recording_rules) {
+      // Awarded buy-side dollars, the refund-storm denominator.
+      // Monotone by construction (payments clamp at zero).
+      double awarded = 0.0;
+      for (const exchange::AwardRecord& a : r.awards) {
+        awarded += std::max(0.0, a.payment);
+      }
+      reg.AddCounter("fed_awarded_dollars", by_shard, awarded);
+    }
+    telemetry_->RecordEvent(
+        k, epoch,
+        "auction: rounds=" + std::to_string(r.rounds) +
+            " bids=" + std::to_string(r.num_bids) + " winners=" +
+            std::to_string(r.num_winners) +
+            (r.converged ? "" : " (unconverged)"));
+  }
+
+  // Bid lifecycles: one shard-auction span per routed part, then its
+  // settlement fate — the matching award, an explicit gate rejection,
+  // or no award at all.
+  if (config_.telemetry.trace_bids) {
+    for (const RoutedBid& routed : routing.routed) {
+      const std::uint64_t trace = epoch_traces[routed.bid_index];
+      if (trace == 0) continue;
+      const std::size_t k = routed.shard;
+      const ShardEpochSummary& s = summaries[k];
+      telemetry::Span& span = telemetry_->EmitSpan(
+          trace, "shard-auction", epoch, static_cast<int>(k));
+      span.attrs.emplace_back("bid", routed.bid.name);
+      if (s.failed) {
+        span.attrs.emplace_back("outcome", "crashed");
+      } else {
+        span.attrs.emplace_back("rounds",
+                                std::to_string(s.report.rounds));
+        span.attrs.emplace_back("converged",
+                                s.report.converged ? "true" : "false");
+      }
+      telemetry_->MirrorSpan(span);
+      if (s.failed) continue;
+
+      const exchange::AwardRecord* award = nullptr;
+      for (const exchange::AwardRecord& a : s.report.awards) {
+        if (a.team == routed.team && a.bid_name == routed.bid.name) {
+          award = &a;
+          break;
+        }
+      }
+      if (award != nullptr) {
+        telemetry::Span& settle = telemetry_->EmitSpan(
+            trace, "settle", epoch, static_cast<int>(k));
+        settle.attrs.emplace_back("bid", routed.bid.name);
+        settle.attrs.emplace_back("payment", FormatF(award->payment, 2));
+        settle.attrs.emplace_back(
+            "placement",
+            std::string(exchange::ToString(award->outcome.status)));
+        if (award->outcome.refund > 0.0) {
+          settle.attrs.emplace_back("refund",
+                                    FormatF(award->outcome.refund, 2));
+        }
+        telemetry_->MirrorSpan(settle);
+        continue;
+      }
+      const exchange::ExternalRejection* rejection = nullptr;
+      for (const exchange::ExternalRejection& rej :
+           s.report.external_rejections) {
+        if (rej.team == routed.team && rej.bid_name == routed.bid.name) {
+          rejection = &rej;
+          break;
+        }
+      }
+      if (rejection != nullptr) {
+        telemetry::Span& rejected = telemetry_->EmitSpan(
+            trace, "reject", epoch, static_cast<int>(k));
+        rejected.attrs.emplace_back("bid", routed.bid.name);
+        rejected.attrs.emplace_back(
+            "reason",
+            std::string(exchange::ToString(rejection->reason)));
+        telemetry_->MirrorSpan(rejected);
+        continue;
+      }
+      telemetry::Span& lost = telemetry_->EmitSpan(
+          trace, "no-award", epoch, static_cast<int>(k));
+      lost.attrs.emplace_back("bid", routed.bid.name);
+      telemetry_->MirrorSpan(lost);
+    }
+  }
+}
+
+void FederatedExchange::CloseEpochTelemetry(
+    const int epoch, FederationReport& report, const bool time_epoch,
+    const std::chrono::steady_clock::time_point wall_start) {
+  if (telemetry_ == nullptr) return;
+  telemetry::MetricsRegistry& reg = telemetry_->registry();
+  const telemetry::Labels planet;
+  reg.SetGauge("fed_clearing_spread", planet, report.clearing_spread);
+  if (!report.migrations.empty()) {
+    reg.AddCounter("fed_migrations", planet,
+                   static_cast<double>(report.migrations.size()));
+  }
+
+  // Watchdog pass: recording rules write this epoch's derived gauges,
+  // then the alert engine judges them — BEFORE the snapshot below so
+  // both ride the epoch's series entry. Still single-threaded.
+  const std::vector<telemetry::AlertTransition> transitions =
+      telemetry_->EvaluateWatchdog(epoch);
+  if (telemetry_->alerts() != nullptr) {
+    report.alerts.enabled = true;
+    report.alerts.transitions = transitions.size();
+    report.alerts.firing = telemetry_->alerts()->FiringNames();
+    for (const telemetry::AlertTransition& t : transitions) {
+      // Mirror every lifecycle transition into the flight recorder:
+      // a per-shard series lands in that shard's ring, a planet-wide
+      // one in every ring (a containment dump should always explain
+      // which alarms were ringing).
+      const std::string line =
+          "alert " + t.rule + " [" + t.series + "]: " +
+          std::string(telemetry::ToString(t.from)) + " -> " +
+          std::string(telemetry::ToString(t.to));
+      const std::string shard_name =
+          telemetry::KeyLabels(t.series).shard;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (shard_name.empty() || shards_[k]->name == shard_name) {
+          telemetry_->RecordEvent(k, epoch, line);
+        }
+      }
+    }
+  }
+  reg.SnapshotEpoch(epoch);
+  if (time_epoch) {
+    reg.RecordTiming(
+        "epoch_wall_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count());
+  }
+}
+
 FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   const bool supervised = config_.supervisor.enabled;
 
@@ -330,7 +732,7 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   // which only renders on an explicit MetricsJson(include_timings=true).
   const bool time_epoch =
       telemetry_ != nullptr && config_.telemetry.wall_clock_timings;
-  std::chrono::steady_clock::time_point wall_start;
+  std::chrono::steady_clock::time_point wall_start{};
   if (time_epoch) wall_start = std::chrono::steady_clock::now();
 
   // S0. Epoch-start health transitions and checkpoints. Quarantined
@@ -470,9 +872,19 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
       routing = router.Route(pending_);
     }
     pending_.clear();
+    // Batched per-shard submission: one gate call per shard instead of
+    // one per routed part, keeping each shard's intra-batch order (the
+    // routed order) — bid order inside every market is unchanged.
+    std::vector<std::vector<exchange::Market::ExternalBid>> batches(
+        shards_.size());
     for (const RoutedBid& routed : routing.routed) {
-      shards_[routed.shard]->market->SubmitExternalBid(
+      batches[routed.shard].push_back(
           exchange::Market::ExternalBid{routed.team, routed.bid});
+    }
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      if (!batches[k].empty()) {
+        shards_[k]->market->SubmitExternalBids(std::move(batches[k]));
+      }
     }
 
     // Telemetry: router decisions and spill reasons (single-threaded —
@@ -575,179 +987,12 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   std::fill(inject_round_budget_.begin(), inject_round_budget_.end(), -1);
 
   // T1. Telemetry ingest at the epoch barrier: the shard auctions are
-  // done and the epoch is single-threaded again, so every write here is
-  // deterministic and ordered by shard index / routed-part order,
-  // independent of how the shards were scheduled above. This block must
-  // run BEFORE the S1 containment pass so a failed shard's flight dump
-  // can include its auction-phase spans and events.
-  if (telemetry_ != nullptr) {
-    telemetry::MetricsRegistry& reg = telemetry_->registry();
-    for (std::size_t k = 0; k < shards_.size(); ++k) {
-      const ShardEpochSummary& s = summaries[k];
-      telemetry::Labels by_shard;
-      by_shard.shard = shards_[k]->name;
-      if (!s.participated) {
-        telemetry_->RecordEvent(k, epoch, "quarantined: sat the epoch out");
-        continue;
-      }
-      if (s.failed) {
-        reg.AddCounter("fed_shard_failures", by_shard, 1.0);
-        telemetry_->RecordEvent(k, epoch, "auction crashed: " + s.failure);
-        continue;
-      }
-      const exchange::AuctionReport& r = s.report;
-      // Hot-path counters surfaced through the report chain (DemandEngine
-      // workspace → ClockAuctionResult → AuctionReport) — nothing here
-      // ever executed inside the auction loops.
-      reg.AddCounter("fed_auction_rounds", by_shard,
-                     static_cast<double>(r.rounds));
-      reg.AddCounter("fed_demand_evaluations", by_shard,
-                     static_cast<double>(r.demand_evaluations));
-      reg.AddCounter("fed_proxies_reevaluated", by_shard,
-                     static_cast<double>(r.proxies_reevaluated));
-      reg.AddCounter("fed_bisection_probes", by_shard,
-                     static_cast<double>(r.bisection_probes));
-      {
-        telemetry::Labels by_phase = by_shard;
-        by_phase.phase = "full";
-        reg.AddCounter("fed_engine_collections", by_phase,
-                       static_cast<double>(r.full_collections));
-        by_phase.phase = "incremental";
-        reg.AddCounter("fed_engine_collections", by_phase,
-                       static_cast<double>(r.incremental_collections));
-      }
-      reg.AddCounter("fed_bids_seen", by_shard,
-                     static_cast<double>(r.num_bids));
-      reg.AddCounter("fed_winners", by_shard,
-                     static_cast<double>(r.num_winners));
-      reg.AddCounter("fed_external_rejections", by_shard,
-                     static_cast<double>(r.external_rejected));
-      // Revenue is a net flow (sell-side payouts can push it negative in
-      // an epoch), so it is a per-epoch gauge, not a monotone counter;
-      // the snapshot series carries its history.
-      reg.SetGauge("fed_operator_revenue_dollars", by_shard,
-                   r.operator_revenue);
-      reg.AddCounter("fed_placement_failures", by_shard,
-                     static_cast<double>(r.placement_failures));
-      reg.AddCounter("fed_partial_placements", by_shard,
-                     static_cast<double>(r.partial_placements));
-      reg.AddCounter("fed_refund_dollars", by_shard, r.refund_total);
-      reg.AddCounter("fed_move_billing_dollars", by_shard,
-                     r.move_billing_total);
-      reg.AddCounter("fed_jobs_added", by_shard,
-                     static_cast<double>(r.jobs_added));
-      reg.AddCounter("fed_jobs_removed", by_shard,
-                     static_cast<double>(r.jobs_removed));
-      reg.AddCounter("fed_transport_messages", by_shard,
-                     static_cast<double>(r.transport_messages));
-      reg.AddCounter("fed_transport_bytes", by_shard,
-                     static_cast<double>(r.transport_bytes));
-      reg.SetGauge("fed_utilization_spread", by_shard,
-                   exchange::UtilizationSpread(r.post_utilization));
-      reg.SetGauge("fed_rounds_last_epoch", by_shard,
-                   static_cast<double>(r.rounds));
-      const PoolRegistry& pools = shards_[k]->world.fleet.registry();
-      for (std::size_t p = 0; p < r.settled_prices.size(); ++p) {
-        telemetry::Labels by_kind = by_shard;
-        by_kind.kind = std::string(
-            ToString(pools.KeyOf(static_cast<PoolId>(p)).kind));
-        reg.Observe("fed_clearing_price", by_kind, r.settled_prices[p],
-                    /*lo=*/0.0, /*hi=*/50.0, /*bins=*/25);
-        if (config_.telemetry.watchdog.recording_rules) {
-          // The watchdog's point-in-time price surface: the histogram
-          // above keeps the distribution, the rule engine and console
-          // need this epoch's exact price per (shard, kind).
-          reg.SetGauge("fed_clearing_price_dollars", by_kind,
-                       r.settled_prices[p]);
-        }
-      }
-      if (config_.telemetry.watchdog.recording_rules) {
-        // Awarded buy-side dollars, the refund-storm denominator.
-        // Monotone by construction (payments clamp at zero).
-        double awarded = 0.0;
-        for (const exchange::AwardRecord& a : r.awards) {
-          awarded += std::max(0.0, a.payment);
-        }
-        reg.AddCounter("fed_awarded_dollars", by_shard, awarded);
-      }
-      telemetry_->RecordEvent(
-          k, epoch,
-          "auction: rounds=" + std::to_string(r.rounds) +
-              " bids=" + std::to_string(r.num_bids) + " winners=" +
-              std::to_string(r.num_winners) +
-              (r.converged ? "" : " (unconverged)"));
-    }
-
-    // Bid lifecycles: one shard-auction span per routed part, then its
-    // settlement fate — the matching award, an explicit gate rejection,
-    // or no award at all.
-    if (config_.telemetry.trace_bids) {
-      for (const RoutedBid& routed : routing.routed) {
-        const std::uint64_t trace = epoch_traces[routed.bid_index];
-        if (trace == 0) continue;
-        const std::size_t k = routed.shard;
-        const ShardEpochSummary& s = summaries[k];
-        telemetry::Span& span = telemetry_->EmitSpan(
-            trace, "shard-auction", epoch, static_cast<int>(k));
-        span.attrs.emplace_back("bid", routed.bid.name);
-        if (s.failed) {
-          span.attrs.emplace_back("outcome", "crashed");
-        } else {
-          span.attrs.emplace_back("rounds",
-                                  std::to_string(s.report.rounds));
-          span.attrs.emplace_back("converged",
-                                  s.report.converged ? "true" : "false");
-        }
-        telemetry_->MirrorSpan(span);
-        if (s.failed) continue;
-
-        const exchange::AwardRecord* award = nullptr;
-        for (const exchange::AwardRecord& a : s.report.awards) {
-          if (a.team == routed.team && a.bid_name == routed.bid.name) {
-            award = &a;
-            break;
-          }
-        }
-        if (award != nullptr) {
-          telemetry::Span& settle = telemetry_->EmitSpan(
-              trace, "settle", epoch, static_cast<int>(k));
-          settle.attrs.emplace_back("bid", routed.bid.name);
-          settle.attrs.emplace_back("payment", FormatF(award->payment, 2));
-          settle.attrs.emplace_back(
-              "placement",
-              std::string(exchange::ToString(award->outcome.status)));
-          if (award->outcome.refund > 0.0) {
-            settle.attrs.emplace_back("refund",
-                                      FormatF(award->outcome.refund, 2));
-          }
-          telemetry_->MirrorSpan(settle);
-          continue;
-        }
-        const exchange::ExternalRejection* rejection = nullptr;
-        for (const exchange::ExternalRejection& rej :
-             s.report.external_rejections) {
-          if (rej.team == routed.team && rej.bid_name == routed.bid.name) {
-            rejection = &rej;
-            break;
-          }
-        }
-        if (rejection != nullptr) {
-          telemetry::Span& rejected = telemetry_->EmitSpan(
-              trace, "reject", epoch, static_cast<int>(k));
-          rejected.attrs.emplace_back("bid", routed.bid.name);
-          rejected.attrs.emplace_back(
-              "reason",
-              std::string(exchange::ToString(rejection->reason)));
-          telemetry_->MirrorSpan(rejected);
-          continue;
-        }
-        telemetry::Span& lost = telemetry_->EmitSpan(
-            trace, "no-award", epoch, static_cast<int>(k));
-        lost.attrs.emplace_back("bid", routed.bid.name);
-        telemetry_->MirrorSpan(lost);
-      }
-    }
-  }
+  // done and the epoch is single-threaded again, so every write in
+  // IngestShardTelemetry is deterministic and ordered by shard index /
+  // routed-part order, independent of how the shards were scheduled
+  // above. It must run BEFORE the S1 containment pass so a failed
+  // shard's flight dump can include its auction-phase spans and events.
+  IngestShardTelemetry(epoch, summaries, routing, epoch_traces);
 
   // S1. Containment aftermath: roll failed shards back to their epoch
   // checkpoints, advance every shard's health machine, square the planet
@@ -1016,53 +1261,9 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   }
 
   // T2. Close the epoch's telemetry: planet-wide gauges, the logical
-  // epoch snapshot (the registry's series channel), and — outside the
-  // deterministic channel — the wall-clock timing.
-  if (telemetry_ != nullptr) {
-    telemetry::MetricsRegistry& reg = telemetry_->registry();
-    const telemetry::Labels planet;
-    reg.SetGauge("fed_clearing_spread", planet, report.clearing_spread);
-    if (!report.migrations.empty()) {
-      reg.AddCounter("fed_migrations", planet,
-                     static_cast<double>(report.migrations.size()));
-    }
-
-    // Watchdog pass: recording rules write this epoch's derived gauges,
-    // then the alert engine judges them — BEFORE the snapshot below so
-    // both ride the epoch's series entry. Still single-threaded.
-    const std::vector<telemetry::AlertTransition> transitions =
-        telemetry_->EvaluateWatchdog(epoch);
-    if (telemetry_->alerts() != nullptr) {
-      report.alerts.enabled = true;
-      report.alerts.transitions = transitions.size();
-      report.alerts.firing = telemetry_->alerts()->FiringNames();
-      for (const telemetry::AlertTransition& t : transitions) {
-        // Mirror every lifecycle transition into the flight recorder:
-        // a per-shard series lands in that shard's ring, a planet-wide
-        // one in every ring (a containment dump should always explain
-        // which alarms were ringing).
-        const std::string line =
-            "alert " + t.rule + " [" + t.series + "]: " +
-            std::string(telemetry::ToString(t.from)) + " -> " +
-            std::string(telemetry::ToString(t.to));
-        const std::string shard_name =
-            telemetry::KeyLabels(t.series).shard;
-        for (std::size_t k = 0; k < shards_.size(); ++k) {
-          if (shard_name.empty() || shards_[k]->name == shard_name) {
-            telemetry_->RecordEvent(k, epoch, line);
-          }
-        }
-      }
-    }
-    reg.SnapshotEpoch(epoch);
-    if (time_epoch) {
-      reg.RecordTiming(
-          "epoch_wall_seconds",
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        wall_start)
-              .count());
-    }
-  }
+  // epoch snapshot, and — outside the deterministic channel — the
+  // wall-clock timing (see CloseEpochTelemetry).
+  CloseEpochTelemetry(epoch, report, time_epoch, wall_start);
 
   history_.push_back(std::move(report));
   return history_.back();

@@ -1,7 +1,9 @@
 #include "federation/router.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
+#include <map>
 
 #include "common/check.h"
 
@@ -168,6 +170,33 @@ RoutingResult MarketRouter::Route(
   result.decisions.reserve(bids.size());
   const std::size_t num_shards = views_.size();
 
+  // Batched quoting: Quote() is a pure function of (views, quantity) and
+  // costs a full cluster scan per shard, so quoting every shard once per
+  // DISTINCT requested shape — instead of once per bid — turns an epoch
+  // with B bids over D distinct shapes from B×S cluster scans into D×S.
+  // Identical bids get the exact same quote object either way, so
+  // routing decisions are unchanged bit for bit.
+  std::map<std::array<double, kNumResourceKinds>, std::vector<ShardQuote>>
+      quote_cache;
+  const auto quotes_for =
+      [&](const cluster::TaskShape& quantity)
+      -> const std::vector<ShardQuote>& {
+    std::array<double, kNumResourceKinds> key;
+    for (ResourceKind kind : kAllResourceKinds) {
+      key[static_cast<std::size_t>(kind)] = quantity.Of(kind);
+    }
+    auto it = quote_cache.find(key);
+    if (it == quote_cache.end()) {
+      std::vector<ShardQuote> fresh;
+      fresh.reserve(num_shards);
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        fresh.push_back(Quote(s, quantity));
+      }
+      it = quote_cache.emplace(key, std::move(fresh)).first;
+    }
+    return it->second;
+  };
+
   for (std::size_t bid_index = 0; bid_index < bids.size(); ++bid_index) {
     const FederatedBid& fed = bids[bid_index];
     const auto balance = planet_balances.find(fed.team);
@@ -185,12 +214,10 @@ RoutingResult MarketRouter::Route(
       continue;
     }
 
-    std::vector<ShardQuote> quotes;
-    quotes.reserve(num_shards);
+    const std::vector<ShardQuote>& quotes = quotes_for(fed.quantity);
     bool any_viable = false;
-    for (std::size_t s = 0; s < num_shards; ++s) {
-      quotes.push_back(Quote(s, fed.quantity));
-      any_viable = any_viable || quotes.back().viable;
+    for (const ShardQuote& quote : quotes) {
+      any_viable = any_viable || quote.viable;
     }
     if (!any_viable) {
       // No shard's clusters cover the requested kinds: unroutable.
