@@ -24,12 +24,20 @@
 // Usage:
 //   bench_megascale [--smoke] [--threads N] [--kernel K]
 //                   [--bidders B] [--shards S] [--epochs E]
+//                   [--chrome-trace-out FILE]
 //
 // --smoke shrinks every section to CI size and turns the correctness
 // gates into the exit code: 1 = a vectorized kernel ran slower than
 // scalar on the dense microbench, 2 = a byte-identity gate failed,
 // 3 = the megascale epoch failed convergence/conservation. The full run
 // applies the same gates (a broken artifact should not look healthy).
+//
+// --chrome-trace-out arms the profiler's wall-clock channel on the
+// pipelined federation of section 2 and writes its chrome://tracing
+// JSON (one track per shard plus the federation track with the
+// pipeline-window wait/barrier spans). The wall channel never touches
+// the deterministic metrics documents, so the byte-identity gates run
+// unchanged with it armed — which is itself part of the contract.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -262,11 +270,10 @@ std::vector<KernelResult> RunKernelSweep(int users, int pools, int reps,
 
 // ------------------------------------------- federation build helpers --
 
-pm::federation::FederatedExchange BuildFederation(std::size_t shards,
-                                                  int bidders_per_shard,
-                                                  std::size_t num_threads,
-                                                  bool pipelined,
-                                                  const std::string& kernel) {
+pm::federation::FederatedExchange BuildFederation(
+    std::size_t shards, int bidders_per_shard, std::size_t num_threads,
+    bool pipelined, const std::string& kernel,
+    bool wall_profiler = false) {
   std::vector<pm::federation::ShardSpec> specs;
   for (std::size_t k = 0; k < shards; ++k) {
     pm::federation::ShardSpec spec;
@@ -292,6 +299,9 @@ pm::federation::FederatedExchange BuildFederation(std::size_t shards,
   config.num_threads = num_threads;
   config.pipelined = pipelined;
   config.telemetry.enabled = true;
+  // Wall channel only: spans + chrome trace, never the deterministic
+  // metrics document (the byte-identity gates below prove it).
+  config.telemetry.profiler.wall_clock = wall_profiler;
   return pm::federation::FederatedExchange(std::move(specs), config);
 }
 
@@ -316,6 +326,7 @@ int main(int argc, char** argv) {
   const unsigned threads_flag = pm::ParseThreadsFlag(&argc, argv, 0);
   bool smoke = false;
   std::string kernel_flag;
+  std::string chrome_trace_out;
   long long bidders = 1000000;
   std::size_t shards = 100;
   int epochs = 1;
@@ -332,11 +343,13 @@ int main(int argc, char** argv) {
           std::max(1, std::atoi(argv[++i])));
     } else if (arg == "--epochs" && i + 1 < argc) {
       epochs = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--chrome-trace-out" && i + 1 < argc) {
+      chrome_trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_megascale [--smoke] [--threads N] "
                    "[--kernel K] [--bidders B] [--shards S] "
-                   "[--epochs E]\n");
+                   "[--epochs E] [--chrome-trace-out FILE]\n");
       return 64;
     }
   }
@@ -414,12 +427,31 @@ int main(int argc, char** argv) {
     metrics_off = MetricsOf(fed);
   }
   {
+    // The chrome trace rides the byte-identity gate run on purpose: if
+    // the wall channel perturbed deterministic exports, on_matches_off
+    // below would catch it.
     pm::federation::FederatedExchange fed = BuildFederation(
-        gate_shards, gate_bidders, pool_threads, true, kernel_flag);
+        gate_shards, gate_bidders, pool_threads, true, kernel_flag,
+        /*wall_profiler=*/!chrome_trace_out.empty());
     const auto t0 = Clock::now();
     fed.RunEpochs(gate_epochs);
     pipelined_ms = MillisSince(t0) / gate_epochs;
     metrics_on = MetricsOf(fed);
+    if (!chrome_trace_out.empty()) {
+      const std::string trace =
+          fed.telemetry()->profiler()->ChromeTraceJson();
+      std::FILE* tf = std::fopen(chrome_trace_out.c_str(), "w");
+      if (tf == nullptr ||
+          std::fwrite(trace.data(), 1, trace.size(), tf) != trace.size()) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     chrome_trace_out.c_str());
+        if (tf != nullptr) std::fclose(tf);
+        return 74;
+      }
+      std::fclose(tf);
+      std::printf("  wrote %s (%zu bytes)\n", chrome_trace_out.c_str(),
+                  trace.size());
+    }
   }
   const bool off_matches_loop = metrics_off == metrics_loop;
   const bool on_matches_off = metrics_on == metrics_off;

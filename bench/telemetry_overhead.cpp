@@ -2,25 +2,29 @@
 //
 //   $ ./bench_telemetry_overhead [scenario] [epochs]
 //
-// Runs one scenario three times from identical seeds — telemetry off,
+// Runs one scenario four times from identical seeds — telemetry off,
 // telemetry on with the watchdog off, telemetry on with the full
-// watchdog (recording rules + alerts) — and
+// watchdog (recording rules + alerts), and telemetry on with the full
+// watchdog plus the profiler's work-accounting channel armed — and
 //
-//   1. byte-compares the ScenarioMetrics JSON of all three runs: every
+//   1. byte-compares the ScenarioMetrics JSON of all four runs: every
 //      document must equal the telemetry-off baseline exactly
-//      (instrumentation may never perturb market behavior, and neither
-//      may the watchdog layered on top of it), exiting 1 on any
-//      divergence;
+//      (instrumentation may never perturb market behavior — not the
+//      watchdog, and not the profiler counting work on the hot paths),
+//      exiting 1 on any divergence;
 //   2. checks the watchdog-off registry document carries no `derived:`
-//      series — "watchdog off" must mean bit-identical exports to the
-//      pre-watchdog plane, not just quiet alerts (exit 1 otherwise);
-//   3. reports all three wall times, so the overhead of the enabled
-//      plane (span emission, registry ingest, ring rotation) and of the
-//      watchdog on top (rule evaluation, alert state machine — all at
-//      epoch barriers, never in auction loops) is visible in CI logs.
+//      series and no `fed_work_` series — "off" must mean bit-identical
+//      exports, not just quiet alerts (exit 1 otherwise), and likewise
+//      that the profiler-off watchdog arm carries no `fed_work_` or
+//      `derived:work_` series (the profiler gate must not leak);
+//   3. reports all four wall times, so the overhead of the enabled
+//      plane (span emission, registry ingest, ring rotation), of the
+//      watchdog on top (rule evaluation, alert state machine), and of
+//      the profiler (counter copies at epoch barriers, never in auction
+//      loops) is visible in CI logs.
 //
 // The bench-smoke ctest entry runs this at a tiny size; a nonzero exit
-// fails the suite, which makes both contracts a gate, not a hope.
+// fails the suite, which makes all three contracts a gate, not a hope.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -41,11 +45,12 @@ struct RunResult {
 };
 
 RunResult RunOnce(const std::string& scenario, int epochs, bool telemetry,
-                  bool watchdog, unsigned num_threads) {
+                  bool watchdog, bool profiler, unsigned num_threads) {
   pm::scenario::ScenarioSpec spec = pm::scenario::FindScenario(scenario);
   spec.federation.telemetry.enabled = telemetry;
   spec.federation.telemetry.watchdog.recording_rules = watchdog;
   spec.federation.telemetry.watchdog.alerts = watchdog;
+  spec.federation.telemetry.profiler.work_accounting = profiler;
   // Alert SLO assertions render into the metrics JSON (and need the
   // engine armed); strip them from every arm so the byte comparison is
   // market outcomes only.
@@ -76,13 +81,16 @@ int main(int argc, char** argv) {
 
   const RunResult off =
       RunOnce(scenario, epochs, /*telemetry=*/false, /*watchdog=*/false,
-              threads);
+              /*profiler=*/false, threads);
   const RunResult on =
       RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/false,
-              threads);
+              /*profiler=*/false, threads);
   const RunResult watch =
       RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/true,
-              threads);
+              /*profiler=*/false, threads);
+  const RunResult prof =
+      RunOnce(scenario, epochs, /*telemetry=*/true, /*watchdog=*/true,
+              /*profiler=*/true, threads);
 
   if (off.metrics_json != on.metrics_json) {
     std::cerr << "FAIL: telemetry-on run diverged from the telemetry-off "
@@ -98,11 +106,33 @@ int main(int argc, char** argv) {
               << " epochs) — the watchdog perturbed market behavior\n";
     return 1;
   }
+  if (off.metrics_json != prof.metrics_json) {
+    std::cerr << "FAIL: profiler-armed run diverged from the "
+                 "telemetry-off baseline (scenario "
+              << scenario << ", " << epochs
+              << " epochs) — work accounting perturbed market behavior\n";
+    return 1;
+  }
   if (on.registry_json.find("derived:") != std::string::npos) {
     std::cerr << "FAIL: watchdog-off registry document carries derived: "
                  "series (scenario "
               << scenario << ", " << epochs
               << " epochs) — the watchdog gate leaks\n";
+    return 1;
+  }
+  if (watch.registry_json.find("fed_work_") != std::string::npos ||
+      watch.registry_json.find("derived:work_") != std::string::npos) {
+    std::cerr << "FAIL: profiler-off registry document carries work "
+                 "series (scenario "
+              << scenario << ", " << epochs
+              << " epochs) — the profiler gate leaks\n";
+    return 1;
+  }
+  if (prof.registry_json.find("fed_work_") == std::string::npos) {
+    std::cerr << "FAIL: profiler-armed registry document carries no "
+                 "fed_work_ series (scenario "
+              << scenario << ", " << epochs
+              << " epochs) — work accounting never reached the registry\n";
     return 1;
   }
 
@@ -111,7 +141,9 @@ int main(int argc, char** argv) {
             << "  off:      " << off.wall_seconds << " s\n"
             << "  on:       " << on.wall_seconds << " s\n"
             << "  watchdog: " << watch.wall_seconds << " s\n"
+            << "  profiler: " << prof.wall_seconds << " s\n"
             << "  metrics JSON byte-identical: yes\n"
-            << "  watchdog-off derived-series leak: none\n";
+            << "  watchdog-off derived-series leak: none\n"
+            << "  profiler-off work-series leak: none\n";
   return 0;
 }

@@ -5,6 +5,7 @@
 //         [--faults drop=P,dup=P,delay=N]
 //         [--metrics-out FILE] [--trace-out FILE] [--prom-out FILE]
 //         [--alerts-out FILE] [--console] [--timings]
+//         [--profile] [--chrome-trace-out FILE]
 //   $ ./example_scenario_runner --list
 //
 // --metrics-out / --trace-out / --prom-out arm the federation's
@@ -21,6 +22,14 @@
 // timings into the metrics document's separate timing block — that
 // block is NOT deterministic, which is why it needs its own opt-in. An
 // unwritable output path exits 2.
+//
+// --profile arms the profiler's deterministic work-accounting channel
+// (fed_work_* counters in the metrics document; derived:work_* rules +
+// drift alerts when the watchdog is also armed). --chrome-trace-out
+// arms the wall-clock channel and writes a chrome://tracing JSON of the
+// run (one track per shard plus the federation barrier track) — load it
+// at chrome://tracing or ui.perfetto.dev. The wall channel never
+// touches the deterministic documents (docs/observability.md).
 //
 // --faults runs every shard behind pm::net proxy nodes on a lossy wire
 // (drop/duplicate probabilities, stale-redelivery window) with the epoch
@@ -55,23 +64,24 @@ int Usage() {
                "[--quiet] [--faults drop=P,dup=P,delay=N] "
                "[--metrics-out FILE] [--trace-out FILE] "
                "[--prom-out FILE] [--alerts-out FILE] [--console] "
-               "[--timings]\n"
+               "[--timings] [--profile] [--chrome-trace-out FILE]\n"
                "       example_scenario_runner --list\n";
   return 2;
 }
 
-/// Writes `content` to `path`, reporting failure (unwritable directory,
-/// permission, disk) instead of silently dropping the artifact.
-bool WriteFileOrComplain(const std::string& path,
-                         const std::string& content) {
+/// Writes `content` to `path`; an unwritable path (missing directory,
+/// permission, disk) exits 2 — the one artifact-sink policy every
+/// --*-out flag shares. Echoes "wrote PATH" unless quiet.
+void WriteFileOrExit(const std::string& path, const std::string& content,
+                     bool quiet) {
   std::ofstream file(path);
   file << content;
   file.flush();
   if (!file.good()) {
     std::cerr << "cannot write " << path << "\n";
-    return false;
+    std::exit(2);
   }
-  return true;
+  if (!quiet) std::cerr << "wrote " << path << "\n";
 }
 
 /// Parses "drop=P,dup=P,delay=N" (any subset, any order) into a
@@ -109,11 +119,13 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string prom_out;
   std::string alerts_out;
+  std::string chrome_trace_out;
   pm::scenario::RunnerConfig config;
   pm::net::FaultConfig faults;
   bool quiet = false;
   bool timings = false;
   bool console = false;
+  bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -166,10 +178,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       alerts_out = v;
+    } else if (arg == "--chrome-trace-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      chrome_trace_out = v;
     } else if (arg == "--console") {
       console = true;
     } else if (arg == "--timings") {
       timings = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -191,7 +209,8 @@ int main(int argc, char** argv) {
   const bool want_watchdog = !alerts_out.empty() || console;
   const bool want_telemetry = !metrics_out.empty() ||
                               !trace_out.empty() || !prom_out.empty() ||
-                              timings || want_watchdog;
+                              timings || want_watchdog || profile ||
+                              !chrome_trace_out.empty();
   if (want_telemetry) {
     spec.federation.telemetry.enabled = true;
     spec.federation.telemetry.wall_clock_timings =
@@ -200,6 +219,12 @@ int main(int argc, char** argv) {
   if (want_watchdog) {
     spec.federation.telemetry.watchdog.recording_rules = true;
     spec.federation.telemetry.watchdog.alerts = true;
+  }
+  if (profile) {
+    spec.federation.telemetry.profiler.work_accounting = true;
+  }
+  if (!chrome_trace_out.empty()) {
+    spec.federation.telemetry.profiler.wall_clock = true;
   }
   if (faults.Enabled()) {
     // Lossy-wire mode: every shard clears through proxy nodes over the
@@ -230,8 +255,7 @@ int main(int argc, char** argv) {
   const std::string json = metrics.ToJson();
 
   if (!out.empty()) {
-    if (!WriteFileOrComplain(out, json)) return 2;
-    if (!quiet) std::cerr << "wrote " << out << "\n";
+    WriteFileOrExit(out, json, quiet);
   } else {
     std::cout << json;
   }
@@ -241,30 +265,21 @@ int main(int argc, char** argv) {
         runner.exchange().telemetry();
     PM_CHECK(telemetry != nullptr);
     if (!metrics_out.empty()) {
-      if (!WriteFileOrComplain(metrics_out,
-                               telemetry->MetricsJson(timings))) {
-        return 2;
-      }
-      if (!quiet) std::cerr << "wrote " << metrics_out << "\n";
+      WriteFileOrExit(metrics_out, telemetry->MetricsJson(timings), quiet);
     }
     if (!trace_out.empty()) {
-      if (!WriteFileOrComplain(trace_out, telemetry->TraceJson())) {
-        return 2;
-      }
-      if (!quiet) std::cerr << "wrote " << trace_out << "\n";
+      WriteFileOrExit(trace_out, telemetry->TraceJson(), quiet);
     }
     if (!prom_out.empty()) {
-      if (!WriteFileOrComplain(prom_out, telemetry->PrometheusText())) {
-        return 2;
-      }
-      if (!quiet) std::cerr << "wrote " << prom_out << "\n";
+      WriteFileOrExit(prom_out, telemetry->PrometheusText(), quiet);
     }
     if (!alerts_out.empty()) {
-      if (!WriteFileOrComplain(alerts_out,
-                               telemetry->AlertTimelineJson())) {
-        return 2;
-      }
-      if (!quiet) std::cerr << "wrote " << alerts_out << "\n";
+      WriteFileOrExit(alerts_out, telemetry->AlertTimelineJson(), quiet);
+    }
+    if (!chrome_trace_out.empty()) {
+      PM_CHECK(telemetry->profiler() != nullptr);
+      WriteFileOrExit(chrome_trace_out,
+                      telemetry->profiler()->ChromeTraceJson(), quiet);
     }
     if (console) {
       std::cout << pm::telemetry::RenderConsole(*telemetry);

@@ -20,6 +20,11 @@ std::string DistributedIncompatibility(const ClockAuctionConfig& config) {
     return "record_trajectory is serial-only: the wire protocol does not "
            "carry per-round trajectory frames";
   }
+  if (config.collect_phase_timings) {
+    return "collect_phase_timings is serial-only: the wire path's demand "
+           "work runs inside the proxy nodes, so there is no in-process "
+           "collect phase to time";
+  }
   return {};
 }
 
@@ -111,6 +116,14 @@ ClockAuctionResult ClockAuction::Run(
   std::vector<double> step(num_pools, 0.0);
   DemandEngine::Workspace ws;
 
+  // Wall channel (profiler): the run splits into a collect phase (price
+  // discovery, including each round's λ = 1 demand peek) and a bisect
+  // phase (the final undersell search). Timing never feeds back into
+  // the mechanism.
+  const bool timed = config.collect_phase_timings;
+  const std::uint64_t run_begin_ns = timed ? PhaseNowNs() : 0;
+  std::uint64_t bisect_begin_ns = 0;
+
   auto collect = [&](std::span<const double> prices) {
     // Full arena sweep on the first call, incremental re-evaluation (only
     // bidders touching a moved pool) on every later round and probe.
@@ -123,6 +136,18 @@ ClockAuctionResult ClockAuction::Run(
     result.proxies_reevaluated = ws.proxies_evaluated();
     result.full_collections = ws.full_collections();
     result.incremental_collections = ws.incremental_collections();
+    result.dot_blocks = ws.dot_blocks();
+    result.dirty_bidders = ws.dirty_bidders();
+    if (timed) {
+      const std::uint64_t end_ns = PhaseNowNs();
+      const std::uint64_t split =
+          bisect_begin_ns != 0 ? bisect_begin_ns : end_ns;
+      result.phases.push_back(PhaseSpan{"collect", run_begin_ns, split});
+      if (bisect_begin_ns != 0) {
+        result.phases.push_back(
+            PhaseSpan{"bisect", bisect_begin_ns, end_ns});
+      }
+    }
   };
 
   auto normalize = [&](std::span<const double> raw) {
@@ -215,6 +240,7 @@ ClockAuctionResult ClockAuction::Run(
       }
       continue;
     }
+    if (timed && bisect_begin_ns == 0) bisect_begin_ns = PhaseNowNs();
     double lo = 0.0;  // Known: z(lo) has positive excess somewhere.
     double hi = 1.0;  // Known: z(hi) ≤ 0.
     for (int it = 0; it < config.bisection_iters; ++it) {

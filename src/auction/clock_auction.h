@@ -23,6 +23,7 @@
 #include "auction/increment_policy.h"
 #include "auction/proxy.h"
 #include "bid/bid.h"
+#include "common/phase_span.h"
 #include "common/thread_pool.h"
 
 namespace pm::auction {
@@ -82,6 +83,13 @@ struct ClockAuctionConfig {
 
   /// Record the full (prices, excess) trajectory per round.
   bool record_trajectory = false;
+
+  /// Record wall-clock collect/bisect phase spans into
+  /// ClockAuctionResult::phases (the profiler's wall channel,
+  /// src/common/phase_span.h). Costs a few steady_clock reads per run
+  /// and never touches prices, decisions, or any counter. Serial loop
+  /// only — the wire path's demand work runs inside the proxy nodes.
+  bool collect_phase_timings = false;
 
   /// §III.B's p ≤ pmax modification: per-pool price ceilings "to keep the
   /// system away from weird or unfair values". Empty = unbounded (the
@@ -148,6 +156,15 @@ struct ClockAuctionResult {
   /// wire path, where the engines live inside the proxy nodes.
   long long full_collections = 0;
   long long incremental_collections = 0;
+
+  /// Profiler work counters (deterministic): kernel dot-block calls
+  /// issued by full sweeps, and bidders re-evaluated incrementally.
+  /// Zero on the wire path, like the collection counters above.
+  long long dot_blocks = 0;
+  long long dirty_bidders = 0;
+
+  /// Wall-clock collect/bisect spans (collect_phase_timings only).
+  std::vector<PhaseSpan> phases;
 
   /// Per-round history when record_trajectory was set.
   std::vector<RoundRecord> trajectory;

@@ -277,6 +277,7 @@ void DemandEngine::FullCollect(std::span<const double> prices,
   });
   ws.proxies_evaluated_ += static_cast<long long>(num_users);
   ++ws.full_collections_;
+  ws.dot_blocks_ += static_cast<long long>(blocks);
   if (want_excess) {
     if (single_block) {
       for (std::size_t r = 0; r < num_pools; ++r) {
@@ -351,6 +352,7 @@ void DemandEngine::IncrementalCollect(std::span<const double> prices,
     }
   });
   ws.proxies_evaluated_ += static_cast<long long>(num_dirty);
+  ws.dirty_bidders_ += static_cast<long long>(num_dirty);
 
   if (ws.want_excess_) {
     // Ascending bidder order, changed bidders only — the same sequence

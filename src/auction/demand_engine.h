@@ -128,6 +128,14 @@ class DemandEngine {
       return incremental_collections_;
     }
 
+    /// Logical work units for the profiler's deterministic channel:
+    /// kernel dot-block calls issued by full sweeps (one per
+    /// kExcessBlockBidders block — counted outside the parallel region,
+    /// so thread-count independent) and bidders re-evaluated by
+    /// incremental collections.
+    long long dot_blocks() const { return dot_blocks_; }
+    long long dirty_bidders() const { return dirty_bidders_; }
+
    private:
     friend class DemandEngine;
 
@@ -147,6 +155,8 @@ class DemandEngine {
     long long proxies_evaluated_ = 0;
     long long full_collections_ = 0;
     long long incremental_collections_ = 0;
+    long long dot_blocks_ = 0;
+    long long dirty_bidders_ = 0;
   };
 
   /// Compiles the whole bid set. `supply` is the dense per-pool operator

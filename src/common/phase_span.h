@@ -1,0 +1,73 @@
+// planetmarket: a wall-clock phase span — the carrier type of the
+// profiler's wall channel (src/telemetry/profiler.h).
+//
+// Spans are measured where the work happens (auction rounds on pool
+// threads, settlement inside Market::RunAuction) but *recorded* into the
+// profiler only at the single-threaded epoch barrier: the hot path
+// appends plain PhaseSpan values to a vector it owns, the vector rides
+// AuctionReport back to the federation, and the barrier copies it into
+// the PhaseProfiler. That keeps the auction layer free of any telemetry
+// dependency (pm_auction must not link pm_telemetry) and keeps every
+// profiler mutation single-threaded.
+//
+// Timestamps are steady_clock nanoseconds since an arbitrary epoch; the
+// chrome-trace exporter normalizes them against the earliest span it
+// saw, so only differences matter. Nothing in the deterministic channel
+// ever reads these values.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pm {
+
+/// One closed wall-clock interval, e.g. the collect phase of one shard
+/// auction. `name` is the phase label shown on the chrome-trace track.
+struct PhaseSpan {
+  std::string name;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Monotonic now, in nanoseconds. Wall channel only.
+inline std::uint64_t PhaseNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII phase timer over a caller-owned span vector. A null sink makes
+/// every operation a no-op, so hot paths pay one pointer test when phase
+/// timing is off — the same gating discipline as the telemetry plane.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(std::vector<PhaseSpan>* sink, std::string name)
+      : sink_(sink) {
+    if (sink_ != nullptr) {
+      name_ = std::move(name);
+      begin_ns_ = PhaseNowNs();
+    }
+  }
+  ~ScopedPhaseTimer() { Stop(); }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  /// Closes the span early (idempotent); the destructor is then a no-op.
+  void Stop() {
+    if (sink_ == nullptr) return;
+    sink_->push_back(PhaseSpan{std::move(name_), begin_ns_, PhaseNowNs()});
+    sink_ = nullptr;
+  }
+
+ private:
+  std::vector<PhaseSpan>* sink_;
+  std::string name_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace pm

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <utility>
 
+#include "auction/kernels.h"
 #include "auction/system_check.h"
 #include "common/check.h"
+#include "common/phase_span.h"
 #include "net/distributed_auction.h"
 
 namespace pm::exchange {
@@ -295,6 +297,13 @@ AuctionReport Market::RunAuction() {
     result = std::move(distributed.result);
     report.transport_messages = distributed.transport.messages_sent;
     report.transport_bytes = distributed.transport.bytes_sent;
+    report.wire_frames_retried = distributed.transport.frames_retried;
+    report.wire_frames_deduped = distributed.transport.frames_duplicated +
+                                 distributed.transport.frames_stale;
+  } else if (config_.phase_timings) {
+    auction::ClockAuctionConfig timed = config_.auction;
+    timed.collect_phase_timings = true;
+    result = auction.Run(timed);
   } else {
     result = auction.Run(config_.auction);
   }
@@ -305,6 +314,10 @@ AuctionReport Market::RunAuction() {
   report.bisection_probes = result.bisection_probes;
   report.full_collections = result.full_collections;
   report.incremental_collections = result.incremental_collections;
+  report.dot_blocks = result.dot_blocks;
+  report.dirty_bidders = result.dirty_bidders;
+  report.kernel = auction::ToString(auction.engine().kernel());
+  report.phases = std::move(result.phases);
   report.settled_prices = result.prices;
 
   if (config_.audit_system && result.converged) {
@@ -316,6 +329,11 @@ AuctionReport Market::RunAuction() {
     PM_CHECK_MSG(audit.Feasible(),
                  "SYSTEM constraints violated: " << audit.ToString());
   }
+
+  // Wall channel: the settle span covers settlement computation through
+  // the full pipeline (billing → quota → placement → refunds → moves).
+  ScopedPhaseTimer settle_timer(
+      config_.phase_timings ? &report.phases : nullptr, "settle");
 
   const auction::Settlement settlement = auction::Settle(auction, result);
   report.num_winners = settlement.awards.size();
@@ -344,6 +362,7 @@ AuctionReport Market::RunAuction() {
                               config_.settlement, config_.max_task_shape,
                               &next_job_id_);
   pipeline.Execute(inputs, report.settled_prices, report);
+  settle_timer.Stop();
   RefreshTeamProfiles();
 
   // Let every agent observe the uniform clearing prices (losers learn

@@ -86,6 +86,14 @@ struct MarketConfig {
   /// every future epoch — is bit-identical to the price-only learner.
   bool outcome_feedback = false;
 
+  /// Record wall-clock phase spans (auction collect/bisect + settle)
+  /// into AuctionReport::phases — the profiler's wall channel. A few
+  /// steady_clock reads per auction when on; never touches prices,
+  /// decisions, counters, or any deterministic export. Serial path
+  /// only: on the wire path the demand work runs inside the proxy
+  /// nodes, so only the settle span is recorded.
+  bool phase_timings = false;
+
   /// Seed of the market's private random stream (exposed via rng()).
   /// The core auction round is fully deterministic and draws nothing from
   /// it; the stream exists for market-scoped stochastic extensions

@@ -12,6 +12,7 @@
 
 #include "auction/settlement.h"
 #include "cluster/job.h"
+#include "common/phase_span.h"
 #include "common/types.h"
 #include "stats/descriptive.h"
 
@@ -137,11 +138,25 @@ struct AuctionReport {
   long long full_collections = 0;
   long long incremental_collections = 0;
 
+  /// Profiler work-accounting counters (deterministic logical work,
+  /// docs/observability.md "Phase profiler"): kernel dot-block calls
+  /// per full sweep, bidders re-evaluated incrementally, and the
+  /// resolved dot-kernel tier that served them. Like the collection
+  /// split above, zero/empty on the wire path.
+  long long dot_blocks = 0;
+  long long dirty_bidders = 0;
+  std::string kernel;
+
   // Wire traffic when the round ran behind pm::net proxy nodes
   // (MarketConfig::distributed_proxy_nodes > 0); zero on the in-process
   // serial path.
   long long transport_messages = 0;
   long long transport_bytes = 0;
+  /// Lossy-wire recovery work (profiler channel): frames the sender
+  /// retried, and duplicate/stale frames the receiver discarded.
+  /// Deterministic per fault seed.
+  long long wire_frames_retried = 0;
+  long long wire_frames_deduped = 0;
 
   // Outcome.
   std::vector<double> settled_prices;
@@ -159,12 +174,21 @@ struct AuctionReport {
   std::size_t partial_placements = 0;  // Awards with Status::kPartial.
   std::size_t overdrafts = 0;          // Budget violations at settlement.
   double refund_total = 0.0;  // Dollars refunded for unplaced units.
+  /// Refund payouts executed (profiler channel: the op count behind
+  /// refund_total — how many awards actually hit the refund path).
+  std::size_t refund_ops = 0;
   /// §V.B reconfiguration charges collected from moving teams (zero
   /// unless SettlementPolicy::bill_moves is on).
   double move_billing_total = 0.0;
 
   // Fleet health after the round.
   std::vector<double> post_utilization;
+
+  /// Wall-clock phase spans (collect/bisect from the auction, settle
+  /// from the settlement section) when MarketConfig::phase_timings is
+  /// on; the federation copies them into the profiler at the epoch
+  /// barrier. Never read by any deterministic export.
+  std::vector<PhaseSpan> phases;
 };
 
 /// Figure 6's series: settled/fixed price ratio per pool (NaN where the

@@ -275,6 +275,7 @@ void SettlementPipeline::ApplyPhysical(
       }
       outcome.refund = refund.ToDouble();
       report.refund_total += outcome.refund;
+      ++report.refund_ops;
     }
   }
 

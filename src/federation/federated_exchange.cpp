@@ -54,6 +54,11 @@ FederatedExchange::FederatedExchange(std::vector<ShardSpec> specs,
                  "set FederationConfig::proxy_nodes_per_shard, not "
                  "ShardSpec::market.distributed_proxy_nodes");
     spec.market.distributed_proxy_nodes = config_.proxy_nodes_per_shard;
+    // Profiler wall channel: shard markets record collect/bisect/settle
+    // spans into their reports; the barrier copies them into the
+    // profiler. Wall-only — deterministic outputs are untouched.
+    spec.market.phase_timings =
+        config_.telemetry.enabled && config_.telemetry.profiler.wall_clock;
     PM_CHECK_MSG(!spec.market.wire_faults.Enabled(),
                  "set FederationConfig::wire_faults, not "
                  "ShardSpec::market.wire_faults");
@@ -445,6 +450,18 @@ void FederatedExchange::RunEpochsPipelined(const int n) {
     }
   }
 
+  // Profiler wall channel: pipeline-window spans live here and ONLY
+  // here — occupancy (shards already collecting ahead of the barrier)
+  // and bubble (barrier wait) are scheduling-dependent, so they never
+  // enter the deterministic channel (the pipelined-vs-serial metrics
+  // byte-identity gate pins that).
+  telemetry::PhaseProfiler* prof =
+      telemetry_ != nullptr && config_.telemetry.profiler.wall_clock
+          ? telemetry_->profiler()
+          : nullptr;
+  const std::size_t fed_track =
+      prof == nullptr ? 0 : prof->federation_track();
+
   const RoutingResult no_routing;
   const std::vector<std::uint64_t> no_traces;
   for (int e = e0; e < e_end; ++e) {
@@ -454,6 +471,8 @@ void FederatedExchange::RunEpochsPipelined(const int n) {
       }
       return true;
     };
+    telemetry::ScopedSpan wait_span(prof, fed_track, e, "window-wait");
+    int overlap = 0;
     std::vector<ShardEpochSummary> summaries(shards_.size());
     {
       std::unique_lock<std::mutex> lock(mu);
@@ -465,12 +484,21 @@ void FederatedExchange::RunEpochsPipelined(const int n) {
       // the serial loop would have committed before rethrowing.
       if (!all_done()) break;
       buffers[e & 1].swap(summaries);
+      // Window occupancy at barrier entry: shards already done with a
+      // later epoch than the one this barrier commits.
+      for (const int d : done_epoch) {
+        if (d > e) ++overlap;
+      }
     }
+    wait_span.AddArg("occupancy", static_cast<double>(overlap));
+    wait_span.Stop();
 
     // The epoch barrier: single-threaded settlement + telemetry for
     // epoch e, byte-identical to the serial RunEpochInternal tail for a
     // pipeline-eligible configuration, while shard collections for
     // epochs e + 1 / e + 2 already run on the pool.
+    telemetry::ScopedSpan barrier_span(prof, fed_track, e, "barrier");
+    barrier_span.AddArg("occupancy", static_cast<double>(overlap));
     IngestShardTelemetry(e, summaries, no_routing, no_traces);
     FederationReport report =
         BuildFederationReport(e, std::move(summaries), RoutingResult{});
@@ -479,6 +507,7 @@ void FederatedExchange::RunEpochsPipelined(const int n) {
         ComputeClearingSpread(report, registries, capacities);
     CloseEpochTelemetry(e, report, /*time_epoch=*/false, {});
     history_.push_back(std::move(report));
+    barrier_span.Stop();
 
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -595,6 +624,44 @@ void FederatedExchange::IngestShardTelemetry(
         awarded += std::max(0.0, a.payment);
       }
       reg.AddCounter("fed_awarded_dollars", by_shard, awarded);
+    }
+    if (config_.telemetry.profiler.work_accounting) {
+      // The profiler's deterministic work-accounting channel: logical
+      // cost counters for this shard-epoch, plus the per-(epoch, shard)
+      // work tree the flight recorder attaches to containment dumps.
+      // Dot-blocks carry the resolved kernel tier on the phase label so
+      // a de-vectorization shows up as a series switch.
+      telemetry::Labels by_tier = by_shard;
+      by_tier.phase = r.kernel;
+      reg.AddCounter("fed_work_dot_blocks", by_tier,
+                     static_cast<double>(r.dot_blocks));
+      reg.AddCounter("fed_work_dirty_bidders", by_shard,
+                     static_cast<double>(r.dirty_bidders));
+      reg.AddCounter("fed_work_refund_ops", by_shard,
+                     static_cast<double>(r.refund_ops));
+      reg.AddCounter("fed_work_wire_retries", by_shard,
+                     static_cast<double>(r.wire_frames_retried));
+      reg.AddCounter("fed_work_wire_dedups", by_shard,
+                     static_cast<double>(r.wire_frames_deduped));
+      telemetry::WorkCounters work;
+      work.dot_blocks = r.dot_blocks;
+      work.dirty_bidders = r.dirty_bidders;
+      work.bisection_probes = r.bisection_probes;
+      work.full_collections = r.full_collections;
+      work.incremental_collections = r.incremental_collections;
+      work.wire_retries = r.wire_frames_retried;
+      work.wire_dedups = r.wire_frames_deduped;
+      work.refund_ops = static_cast<long long>(r.refund_ops);
+      work.kernel = r.kernel;
+      telemetry_->profiler()->RecordWork(epoch, k, std::move(work));
+    }
+    if (config_.telemetry.profiler.wall_clock) {
+      // Wall channel: the shard's collect/bisect/settle spans were
+      // measured on the worker thread but ride the report; copying them
+      // here keeps every profiler mutation at the barrier.
+      for (const PhaseSpan& span : r.phases) {
+        telemetry_->profiler()->AddSpan(k, epoch, span);
+      }
     }
     telemetry_->RecordEvent(
         k, epoch,
@@ -844,11 +911,20 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   // epoch's pass over the healthy shards.
   RoutingResult routing;
   std::vector<FederatedBid> epoch_bids;
+  // Profiler wall channel: federation-track spans (route, barrier) are
+  // recorded here on the single epoch thread. Null when unarmed.
+  telemetry::PhaseProfiler* prof =
+      telemetry_ != nullptr && config_.telemetry.profiler.wall_clock
+          ? telemetry_->profiler()
+          : nullptr;
+  const std::size_t fed_track =
+      prof == nullptr ? 0 : prof->federation_track();
   // Trace id per routing input (index-aligned with routing.decisions) —
   // captured before pending_ is cleared so the post-auction telemetry
   // passes can join shard outcomes back to bid lifecycles.
   std::vector<std::uint64_t> epoch_traces;
   if (!pending_.empty()) {
+    telemetry::ScopedSpan route_span(prof, fed_track, epoch, "route");
     ensure_views();
     if (supervised) epoch_bids = pending_;
     if (telemetry_ != nullptr) {
@@ -992,6 +1068,9 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   // routed-part order, independent of how the shards were scheduled
   // above. It must run BEFORE the S1 containment pass so a failed
   // shard's flight dump can include its auction-phase spans and events.
+  // The barrier span covers everything from here through T2 — the
+  // single-threaded tail of the epoch.
+  telemetry::ScopedSpan barrier_span(prof, fed_track, epoch, "barrier");
   IngestShardTelemetry(epoch, summaries, routing, epoch_traces);
 
   // S1. Containment aftermath: roll failed shards back to their epoch
@@ -1078,9 +1157,18 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
             }
             chains.emplace_back(trace, std::move(lines));
           }
+          // The failing epoch's own report rolled back with the shard,
+          // so the work tree shows the run-up — the recent epochs where
+          // the shard was burning its round budget — plus an explicit
+          // note for the unrecorded failure epoch.
+          std::string work_tree;
+          if (config_.telemetry.profiler.work_accounting) {
+            work_tree =
+                telemetry_->profiler()->RenderWorkTree(k, epoch);
+          }
           telemetry_->recorder().DumpShard(k, shards_[k]->name, epoch,
                                            summaries[k].failure,
-                                           transition, chains);
+                                           transition, chains, work_tree);
         }
       }
     }
@@ -1264,6 +1352,7 @@ FederationReport FederatedExchange::RunEpochInternal(const int epoch) {
   // epoch snapshot, and — outside the deterministic channel — the
   // wall-clock timing (see CloseEpochTelemetry).
   CloseEpochTelemetry(epoch, report, time_epoch, wall_start);
+  barrier_span.Stop();
 
   history_.push_back(std::move(report));
   return history_.back();

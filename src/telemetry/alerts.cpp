@@ -75,6 +75,34 @@ std::vector<AlertRule> DefaultAlertRules() {
   return rules;
 }
 
+std::vector<AlertRule> DefaultWorkAlertRules() {
+  using Kind = AlertRule::Kind;
+  std::vector<AlertRule> rules;
+  // Work drift: the same shard's per-epoch logical work jumped by the
+  // given factor two epochs running. One hot epoch is workload noise
+  // (a flash crowd legitimately doubles demand); a sustained multiple
+  // with no matching workload change is an engine regression —
+  // incremental collections degenerating to full sweeps, or a kernel
+  // tier silently falling back.
+  rules.push_back({"work-dot-block-drift", Kind::kAbove,
+                   "derived:work_dot_blocks_drift", {}, 2.0, 2,
+                   AlertSeverity::kWarning});
+  rules.push_back({"work-dirty-bidder-drift", Kind::kAbove,
+                   "derived:work_dirty_bidders_drift", {}, 3.0, 2,
+                   AlertSeverity::kWarning});
+  // Bisection storm: probes per auction round blew past anything the
+  // per-round peek + one final search can produce.
+  rules.push_back({"work-bisection-storm", Kind::kAbove,
+                   "derived:work_probes_per_round", {}, 30.0, 2,
+                   AlertSeverity::kWarning});
+  // Wire-retry storm: the lossy wire is burning retries at a rate that
+  // dwarfs the configured fault plan.
+  rules.push_back({"work-wire-retry-storm", Kind::kAbove,
+                   "derived:work_wire_retry_rate", {}, 50.0, 2,
+                   AlertSeverity::kWarning});
+  return rules;
+}
+
 AlertEngine::AlertEngine(std::vector<AlertRule> rules)
     : rules_(std::move(rules)), instances_(rules_.size()) {
   for (const AlertRule& rule : rules_) {

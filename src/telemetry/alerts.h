@@ -80,6 +80,13 @@ struct AlertTransition {
 /// (docs/observability.md documents each threshold).
 std::vector<AlertRule> DefaultAlertRules();
 
+/// The profiler's work-drift pack over DefaultWorkRecordingRules()
+/// (rules.h), appended when telemetry.profiler.work_accounting and
+/// watchdog.alerts are both armed: sustained epoch-over-epoch blowups
+/// of the deterministic work counters — the perf-regression proxy that
+/// fires identically on every host.
+std::vector<AlertRule> DefaultWorkAlertRules();
+
 class AlertEngine {
  public:
   explicit AlertEngine(std::vector<AlertRule> rules);

@@ -53,7 +53,8 @@ const FlightDump& FlightRecorder::DumpShard(
     std::size_t shard, const std::string& shard_name, int epoch,
     const std::string& reason, const std::string& transition,
     const std::vector<std::pair<std::uint64_t,
-                                std::vector<std::string>>>& chains) {
+                                std::vector<std::string>>>& chains,
+    const std::string& work_tree) {
   PM_CHECK(shard < rings_.size());
   FlightDump dump;
   dump.epoch = epoch;
@@ -82,6 +83,11 @@ const FlightDump& FlightRecorder::DumpShard(
     for (const std::string& line : lines) {
       os << "  " << line << "\n";
     }
+  }
+  if (!work_tree.empty()) {
+    os << "-- phase work tree (profiler, work counters only) --\n";
+    os << work_tree;
+    if (work_tree.back() != '\n') os << "\n";
   }
   dump.text = os.str();
   dumps_.push_back(std::move(dump));

@@ -54,11 +54,15 @@ class FlightRecorder {
   /// Renders and retains the containment dump for a failed shard.
   /// `chains` holds the full span chains (pre-rendered lines, one vector
   /// per trace) of every traced bid that touched the shard this epoch.
+  /// A non-empty `work_tree` (the profiler's phase work tree, work
+  /// counters only — PhaseProfiler::RenderWorkTree) is appended so the
+  /// post-mortem shows where the shard was burning its round budget.
   const FlightDump& DumpShard(
       std::size_t shard, const std::string& shard_name, int epoch,
       const std::string& reason, const std::string& transition,
       const std::vector<std::pair<std::uint64_t,
-                                  std::vector<std::string>>>& chains);
+                                  std::vector<std::string>>>& chains,
+      const std::string& work_tree = std::string());
 
   const std::deque<FlightEvent>& Ring(std::size_t shard) const;
   const std::vector<FlightDump>& dumps() const { return dumps_; }

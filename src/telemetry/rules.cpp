@@ -44,6 +44,36 @@ std::vector<RecordingRule> DefaultRecordingRules() {
   return rules;
 }
 
+std::vector<RecordingRule> DefaultWorkRecordingRules() {
+  using Kind = RecordingRule::Kind;
+  std::vector<RecordingRule> rules;
+  // Per-epoch logical work rates: how many kernel dot-blocks, dirty
+  // bidders and wire retries landed THIS epoch, per shard (dot-blocks
+  // additionally per kernel tier via the phase label).
+  rules.push_back({Kind::kCounterRate, "work_dot_blocks_rate",
+                   "fed_work_dot_blocks", ""});
+  rules.push_back({Kind::kCounterRate, "work_dirty_bidders_rate",
+                   "fed_work_dirty_bidders", ""});
+  rules.push_back({Kind::kCounterRate, "work_wire_retry_rate",
+                   "fed_work_wire_retries", ""});
+  // Epoch-over-epoch drift of the dominant work drivers. A sustained
+  // drift factor ≥ 2 means the same workload suddenly costs a multiple
+  // of last epoch's logical work — the deterministic signature of an
+  // incremental-fallback storm or a de-vectorized kernel, visible even
+  // on a host too noisy for wall-clock regression detection.
+  rules.push_back({Kind::kDeltaDrift, "work_dot_blocks_drift",
+                   "fed_work_dot_blocks", ""});
+  rules.push_back({Kind::kDeltaDrift, "work_dirty_bidders_drift",
+                   "fed_work_dirty_bidders", ""});
+  rules.push_back({Kind::kDeltaDrift, "work_probe_drift",
+                   "fed_bisection_probes", ""});
+  // Bisection probes per auction round: a blowout means the per-round
+  // demand peek degenerated into full searches.
+  rules.push_back({Kind::kRatio, "work_probes_per_round",
+                   "fed_bisection_probes", "fed_auction_rounds"});
+  return rules;
+}
+
 RuleEngine::RuleEngine(std::vector<RecordingRule> rules)
     : rules_(std::move(rules)) {
   for (const RecordingRule& rule : rules_) {
@@ -118,6 +148,20 @@ void RuleEngine::EvaluateEpoch(MetricsRegistry& registry) {
                                 std::max(1e-9, minmax.first);
           registry.SetGaugeByKey(
               RenderKey("derived:" + rule.output, labels), spread);
+        }
+        break;
+      }
+      case RecordingRule::Kind::kDeltaDrift: {
+        for (const auto& [key, value] : registry.counters()) {
+          if (KeyName(key) != rule.source) continue;
+          double& baseline = drift_baseline_[key];
+          double& prev_delta = drift_prev_delta_[key];
+          const double delta = value - baseline;
+          baseline = value;
+          registry.SetGaugeByKey(
+              "derived:" + rule.output + KeySuffix(key),
+              prev_delta > 0.0 ? delta / prev_delta : 0.0);
+          prev_delta = delta;
         }
         break;
       }

@@ -46,6 +46,15 @@ struct RecordingRule {
     /// label: (max − min) / max(ε, min) over every shard that carries
     /// the gauge for that kind. One output per kind.
     kSpreadByKind,
+    /// Epoch-over-epoch drift of a monotone counter's per-epoch delta:
+    /// Δ(this epoch) / Δ(previous epoch), per label set of `source`;
+    /// 0 while the previous delta is ≤ 0 (quiet start-up, no spurious
+    /// spike on a counter's first active epoch). Keeps its own baseline
+    /// state, so a drift rule may watch the same counter as a
+    /// kCounterRate rule without stealing its delta (the kCounterRate /
+    /// kRatio kinds share one baseline per counter key — two of THOSE
+    /// on one source would leave the second reading Δ = 0).
+    kDeltaDrift,
   };
 
   Kind kind = Kind::kCounterRate;
@@ -61,6 +70,14 @@ struct RecordingRule {
 /// per-kind cross-shard price spread. Matches what the default alert
 /// pack (alerts.h) consumes.
 std::vector<RecordingRule> DefaultRecordingRules();
+
+/// The profiler's work-accounting extension pack, appended to the
+/// default rules when BOTH telemetry.watchdog.recording_rules and
+/// telemetry.profiler.work_accounting are armed: per-epoch work rates
+/// (`derived:work_*_rate`), epoch-over-epoch drift factors
+/// (`derived:work_*_drift` — the host-noise-immune perf-regression
+/// signal), and probes-per-round. Consumed by DefaultWorkAlertRules().
+std::vector<RecordingRule> DefaultWorkRecordingRules();
 
 /// Evaluates a rule list against the registry once per epoch.
 class RuleEngine {
@@ -85,6 +102,10 @@ class RuleEngine {
   /// Previous-epoch counter values, keyed by canonical key. One shared
   /// baseline map: counter keys are globally unique.
   std::map<std::string, double> baseline_;
+  /// kDeltaDrift's private state (see the Kind doc): previous cumulative
+  /// value and previous per-epoch delta, per counter key.
+  std::map<std::string, double> drift_baseline_;
+  std::map<std::string, double> drift_prev_delta_;
 };
 
 }  // namespace pm::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/telemetry.h"
 
+#include <iterator>
 #include <sstream>
 #include <utility>
 
@@ -16,11 +17,32 @@ Telemetry::Telemetry(TelemetryConfig config,
   PM_CHECK_MSG(config_.enabled,
                "construct Telemetry only behind the enabled gate");
   PM_CHECK_MSG(!shard_names_.empty(), "telemetry needs shard names");
+  // The profiler's work channel extends the watchdog's default packs —
+  // work-rate recording rules and drift alerts only exist when BOTH
+  // gates are armed, so the pre-profiler packs (pinned by the golden
+  // byte-compares under tests/golden/) are untouched otherwise.
   if (config_.watchdog.recording_rules) {
-    rules_ = std::make_unique<RuleEngine>(DefaultRecordingRules());
+    std::vector<RecordingRule> rules = DefaultRecordingRules();
+    if (config_.profiler.work_accounting) {
+      std::vector<RecordingRule> work = DefaultWorkRecordingRules();
+      rules.insert(rules.end(), std::make_move_iterator(work.begin()),
+                   std::make_move_iterator(work.end()));
+    }
+    rules_ = std::make_unique<RuleEngine>(std::move(rules));
   }
   if (config_.watchdog.alerts) {
-    alerts_ = std::make_unique<AlertEngine>(DefaultAlertRules());
+    std::vector<AlertRule> alert_rules = DefaultAlertRules();
+    if (config_.profiler.work_accounting) {
+      std::vector<AlertRule> work = DefaultWorkAlertRules();
+      alert_rules.insert(alert_rules.end(),
+                         std::make_move_iterator(work.begin()),
+                         std::make_move_iterator(work.end()));
+    }
+    alerts_ = std::make_unique<AlertEngine>(std::move(alert_rules));
+  }
+  if (config_.profiler.work_accounting || config_.profiler.wall_clock) {
+    profiler_ =
+        std::make_unique<PhaseProfiler>(config_.profiler, shard_names_);
   }
 }
 

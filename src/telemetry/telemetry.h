@@ -31,6 +31,7 @@
 
 #include "telemetry/alerts.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/profiler.h"
 #include "telemetry/registry.h"
 #include "telemetry/rules.h"
 #include "telemetry/trace.h"
@@ -82,6 +83,14 @@ struct TelemetryConfig {
   /// The watchdog plane (recording rules + alerts), both gates off by
   /// default. `WatchdogConfig{true, true}` arms the shipped packs.
   WatchdogConfig watchdog;
+
+  /// The phase profiler (profiler.h): deterministic work accounting
+  /// and/or wall-clock phase spans + chrome-trace export. Both channels
+  /// off by default; off is bit-identical (the fourth arm of
+  /// bench_telemetry_overhead byte-compares it). Arming work_accounting
+  /// together with the watchdog sub-gates appends the `derived:work_*`
+  /// rules and drift alerts to the shipped packs.
+  ProfilerConfig profiler;
 };
 
 /// One federation's telemetry plane.
@@ -105,6 +114,9 @@ class Telemetry {
   const RuleEngine* rule_engine() const { return rules_.get(); }
   AlertEngine* alerts() { return alerts_.get(); }
   const AlertEngine* alerts() const { return alerts_.get(); }
+  /// Null unless a ProfilerConfig channel is armed.
+  PhaseProfiler* profiler() { return profiler_.get(); }
+  const PhaseProfiler* profiler() const { return profiler_.get(); }
 
   /// Replaces the default rule/alert packs (tests, custom deployments).
   /// Only legal when the corresponding sub-gate is armed.
@@ -156,6 +168,7 @@ class Telemetry {
   FlightRecorder recorder_;
   std::unique_ptr<RuleEngine> rules_;    // watchdog.recording_rules
   std::unique_ptr<AlertEngine> alerts_;  // watchdog.alerts
+  std::unique_ptr<PhaseProfiler> profiler_;  // profiler.{work,wall}
 };
 
 }  // namespace pm::telemetry
